@@ -1,0 +1,20 @@
+"""A1: DVFS-only control saves nothing under strict QoS.
+
+Regenerates the DVFS-only ablation of Paper I (motivating claim).
+Paper headline: DVFS-only cannot save energy without degrading performance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import a1_dvfs_only
+
+
+def test_a1_dvfs_only(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: a1_dvfs_only(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["dvfs-only avg %"] < 1.0
+

@@ -1,0 +1,20 @@
+"""A2: coordinated RM2 vs independent UCP+DVFS controllers.
+
+Regenerates the coordination ablation of Paper I (motivating claim).
+Paper headline: independent controllers violate QoS on cache-sensitive apps.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import a2_coordination_value
+
+
+def test_a2_coordination_value(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: a2_coordination_value(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["independent violations"] >= result.summary["rm2 violations"]
+

@@ -1,0 +1,20 @@
+"""A3: sensitivity to ATD set sampling.
+
+Regenerates the ATD-sampling ablation of design choice (DESIGN.md).
+Paper headline: savings are robust down to few sampled sets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import a3_atd_sampling
+
+
+def test_a3_atd_sampling(benchmark, record_artifact, record_artifact_unused=None):
+    result = benchmark.pedantic(
+        lambda: a3_atd_sampling(),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["64 sets avg %"] > 0.0
+

@@ -1,0 +1,17 @@
+"""A4: phase-history extension of the coordinated RMA.
+
+Regenerates the future-work-#1 ablation (phase table + Markov next-phase
+prediction versus the stock "next = last interval" assumption).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import a4_phase_history
+
+
+def test_a4_phase_history(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(lambda: a4_phase_history(ctx4), rounds=1, iterations=1)
+    record_artifact(result)
+    # the history must not lose energy or QoS relative to the stock manager
+    assert result.summary["history avg %"] > result.summary["rm2 avg %"] - 1.0
+    assert result.summary["history violations"] <= result.summary["rm2 violations"] + 2

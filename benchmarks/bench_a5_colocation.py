@@ -1,0 +1,15 @@
+"""A5: scheduler co-location guidance.
+
+Regenerates the future-work-#2 ablation: advisor-guided vs adversarial vs
+interleaved grouping of the same application pool.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import a5_colocation
+
+
+def test_a5_colocation(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(lambda: a5_colocation(ctx4), rounds=1, iterations=1)
+    record_artifact(result)
+    assert result.summary["advisor %"] >= result.summary["adversarial %"] - 0.5

@@ -1,0 +1,20 @@
+"""E10: scenario 1 energy savings.
+
+Regenerates the scenario-1 savings figure of Paper II.
+Paper headline: RM3 avg 14%, up to 17.6%; up to 60% larger than RM2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e10_scenario1
+
+
+def test_e10_scenario1(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e10_scenario1(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["rm3 avg %"] > result.summary["rm2 avg %"]
+

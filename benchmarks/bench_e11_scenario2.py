@@ -1,0 +1,20 @@
+"""E11: scenario 2 energy savings.
+
+Regenerates the scenario-2 savings figure of Paper II.
+Paper headline: RM2 and RM3 comparable, avg ~5%, up to ~10%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e11_scenario2
+
+
+def test_e11_scenario2(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e11_scenario2(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert abs(result.summary["rm3 avg %"] - result.summary["rm2 avg %"]) < 4.0
+

@@ -1,0 +1,21 @@
+"""E12: scenario 3 energy savings.
+
+Regenerates the scenario-3 savings figure of Paper II.
+Paper headline: only RM3 effective: avg 8.5%, up to 11%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e12_scenario3
+
+
+def test_e12_scenario3(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e12_scenario3(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["rm3 avg %"] > 3.0
+    assert result.summary["rm2 avg %"] < 2.0
+

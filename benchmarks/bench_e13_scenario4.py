@@ -1,0 +1,20 @@
+"""E13: scenario 4 energy savings.
+
+Regenerates the scenario-4 savings figure of Paper II.
+Paper headline: neither RM2 nor RM3 effective.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e13_scenario4
+
+
+def test_e13_scenario4(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e13_scenario4(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["rm3 avg %"] < 2.0
+

@@ -1,0 +1,20 @@
+"""E14: per-interval QoS violation statistics by memory-stall model.
+
+Regenerates the model-accuracy table of Paper II.
+Paper headline: Model 3: 3% violation probability; -32% vs Model 2, -46% vs Model 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e14_model_accuracy
+
+
+def test_e14_model_accuracy(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e14_model_accuracy(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["model3 P %"] <= 15.0
+

@@ -1,0 +1,20 @@
+"""E15: RM3 energy savings by memory-stall model.
+
+Regenerates the savings-by-model figure of Paper II.
+Paper headline: weighted avg: 10% (M3) vs 7% (M2) vs 5% (M1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e15_savings_by_model
+
+
+def test_e15_savings_by_model(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e15_savings_by_model(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["model3 avg %"] >= result.summary["model1 avg %"] - 1.0
+

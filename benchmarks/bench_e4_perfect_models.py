@@ -1,0 +1,20 @@
+"""E4: perfect (oracle) vs realistic analytical models.
+
+Regenerates the perfect-models figure of Paper I (IPDPS 2019).
+Paper headline: perfect avg 8% vs realistic 6%.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e4_perfect_models
+
+
+def test_e4_perfect_models(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e4_perfect_models(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["perfect avg %"] >= result.summary["realistic avg %"] - 1.0
+

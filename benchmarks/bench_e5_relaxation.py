@@ -1,0 +1,20 @@
+"""E5: energy savings vs QoS relaxation (perfect models).
+
+Regenerates the relaxation-sweep figure of Paper I (IPDPS 2019).
+Paper headline: up to 29%, avg 17% at ~40% allowed slowdown.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e5_relaxation_sweep
+
+
+def test_e5_relaxation_sweep(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e5_relaxation_sweep(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["avg % @40% slack"] > 5.0
+

@@ -1,0 +1,20 @@
+"""E6: QoS relaxation on subsets of the workload.
+
+Regenerates the partial-relaxation figure of Paper I (IPDPS 2019).
+Paper headline: per-subset savings lie between all-strict and all-relaxed.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e6_partial_relaxation
+
+
+def test_e6_partial_relaxation(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e6_partial_relaxation(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["all %"] >= result.summary["none %"] - 0.5
+

@@ -1,0 +1,20 @@
+"""E7: sensitivity to the baseline VF anchor.
+
+Regenerates the baseline-VF sensitivity figure of Paper I (IPDPS 2019).
+Paper headline: higher baseline VF leaves more savings headroom.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e7_baseline_vf_sensitivity
+
+
+def test_e7_baseline_vf_sensitivity(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e7_baseline_vf_sensitivity(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["avg % @2.4GHz"] >= result.summary["avg % @1.6GHz"]
+

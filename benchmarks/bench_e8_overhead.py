@@ -1,0 +1,20 @@
+"""E8: software overhead of the Combined RMA.
+
+Regenerates the RMA-overhead table of Paper I (IPDPS 2019).
+Paper headline: < 40K instructions/invocation, ~0.04% of an interval.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1 import e8_rma_overhead
+
+
+def test_e8_rma_overhead(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e8_rma_overhead(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["fraction %"] < 0.1
+

@@ -1,0 +1,20 @@
+"""E9: the 16 application-type mixes and 4 scenarios.
+
+Regenerates the trade-off analysis table of Paper II.
+Paper headline: RM3 substantially better in 12 of 16 mixes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper2 import e9_scenario_analysis
+
+
+def test_e9_scenario_analysis(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: e9_scenario_analysis(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert result.summary["mixes where RM3 substantially better"] >= 9
+

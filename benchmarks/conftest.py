@@ -1,0 +1,60 @@
+"""Benchmark-harness configuration.
+
+Each ``bench_*.py`` regenerates one table/figure of the papers (the
+experiment index lives in DESIGN.md section 5).  pytest-benchmark times the
+RMA-simulation phase; the rendered artefact is printed and persisted under
+``benchmarks/_artifacts/``.
+
+Fidelity defaults for the harness keep a full ``pytest benchmarks/
+--benchmark-only`` run in minutes; export ``REPRO_MAX_SLICES=`` (empty) and
+``REPRO_ACCESSES_PER_SET=1200`` for full-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+# Must be set before repro.experiments.runner is imported anywhere.
+os.environ.setdefault("REPRO_MAX_SLICES", "60")
+os.environ.setdefault("REPRO_ACCESSES_PER_SET", "500")
+
+import pytest
+
+from repro.experiments.runner import get_context
+
+ARTIFACT_DIR = os.path.join(os.path.dirname(__file__), "_artifacts")
+
+
+@pytest.fixture(scope="session")
+def ctx2():
+    return get_context(2)
+
+
+@pytest.fixture(scope="session")
+def ctx4():
+    return get_context(4)
+
+
+@pytest.fixture(scope="session")
+def ctx8():
+    return get_context(8)
+
+
+@pytest.fixture(scope="session")
+def record_artifact():
+    """Persist a rendered experiment table under benchmarks/_artifacts/."""
+
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+
+    def _record(result):
+        path = os.path.join(ARTIFACT_DIR, f"{result.experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(result.render() + "\n")
+        md_path = os.path.join(ARTIFACT_DIR, f"{result.experiment_id}.md")
+        with open(md_path, "w", encoding="utf-8") as fh:
+            fh.write(result.markdown())
+        print()
+        print(result.render())
+        return result
+
+    return _record

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Paper II scenario analysis: when does core reconfiguration pay?
+
+Classifies a set of benchmarks by the paper's two criteria (cache
+sensitivity and parallelism sensitivity), forms one workload per scenario,
+and compares the three managers:
+
+* RM1 -- LLC partitioning only,
+* RM2 -- coordinated DVFS + partitioning (Paper I),
+* RM3 -- core size + DVFS + partitioning (Paper II).
+
+Run:  python examples/scenario_analysis.py
+"""
+
+from repro import (
+    Workload,
+    build_database,
+    compare_runs,
+    default_system,
+    rm1_partitioning_only,
+    rm2_combined,
+    rm3_core_adaptive,
+    simulate_workload,
+)
+from repro.workloads.classification import categories_from_curves
+
+SCENARIO_MIXES = {
+    "S1 (CS + PS apps)": ("soplex_like", "gems_like", "libquantum_like", "povray_like"),
+    "S2 (CS, no PS)": ("mcf_like", "omnetpp_like", "povray_like", "namd_like"),
+    "S3 (PS, no CS)": ("libquantum_like", "lbm_like", "milc_like", "bwaves_like"),
+    "S4 (neither)": ("povray_like", "namd_like", "sjeng_like", "gamess_like"),
+}
+
+
+def main() -> None:
+    system = default_system(ncores=4)
+    names = sorted({app for apps in SCENARIO_MIXES.values() for app in apps})
+    print("building the simulation database...")
+    db = build_database(system, names=names)
+
+    print("\nderived application categories (the paper's criteria):")
+    for name in names:
+        cats = categories_from_curves(
+            db.weighted_mpki_curve(name),
+            db.weighted_mlp_grid(name),
+            system.baseline_ways,
+        )
+        print(
+            f"  {name:18s} {cats.paper1_category}  type {cats.paper2_type}"
+            f"  (cache-sensitive={cats.cache_sensitive},"
+            f" parallelism-sensitive={cats.parallelism_sensitive})"
+        )
+
+    managers = [
+        ("RM1 partition-only", rm1_partitioning_only),
+        ("RM2 +DVFS", rm2_combined),
+        ("RM3 +core size", rm3_core_adaptive),
+    ]
+    print()
+    print(f"{'scenario':22s}" + "".join(f"{m:>20s}" for m, _ in managers))
+    for scenario, apps in SCENARIO_MIXES.items():
+        wl = Workload(name=scenario, apps=apps)
+        baseline = simulate_workload(system, db, wl, max_slices=50)
+        cells = []
+        for _, factory in managers:
+            run = simulate_workload(system, db, wl, factory(), max_slices=50)
+            cmp = compare_runs(baseline, run)
+            cells.append(f"{cmp.savings_pct:18.2f}%")
+        print(f"{scenario:22s}" + "".join(f"{c:>20s}" for c in cells))
+
+    print()
+    print("Expected shape (Paper II): RM3 >> RM2 in S1; RM3 ~ RM2 in S2;")
+    print("only RM3 saves in S3; nothing works in S4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline editable install).
+
+`pip install -e . --no-build-isolation --no-use-pep517` uses this legacy path;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

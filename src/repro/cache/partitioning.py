@@ -1,0 +1,55 @@
+"""LLC way-partitioning: bit-masks and repartition bookkeeping.
+
+The RMA's output is a per-core way allocation ``{w_j}`` with
+``sum(w_j) == associativity``; the hardware applies it as per-core way
+bit-masks (as in Figure 3.2 of the thesis).  This module materialises the
+masks and computes the per-core way deltas the overhead model charges for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import require
+
+__all__ = ["Partition", "partition_masks", "repartition_delta"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A complete LLC partition: one way count per core."""
+
+    ways: tuple[int, ...]
+    total_ways: int
+
+    def __post_init__(self) -> None:
+        require(all(w >= 1 for w in self.ways), "every core needs >= 1 way")
+        require(
+            sum(self.ways) == self.total_ways,
+            f"partition {self.ways} does not use exactly {self.total_ways} ways",
+        )
+
+    @property
+    def ncores(self) -> int:
+        return len(self.ways)
+
+
+def partition_masks(partition: Partition) -> tuple[int, ...]:
+    """Contiguous way bit-masks for each core (LSB = way 0).
+
+    Contiguous assignment is what commercial way-partitioning (e.g. Intel CAT)
+    uses; the specific bit layout does not affect strict-partition behaviour.
+    """
+    masks = []
+    base = 0
+    for w in partition.ways:
+        masks.append(((1 << w) - 1) << base)
+        base += w
+    return tuple(masks)
+
+
+def repartition_delta(old: Partition, new: Partition) -> tuple[int, ...]:
+    """Per-core signed way change (positive = ways gained, to be warmed up)."""
+    require(old.ncores == new.ncores, "partitions must cover the same cores")
+    require(old.total_ways == new.total_ways, "total ways must match")
+    return tuple(n - o for o, n in zip(old.ways, new.ways))

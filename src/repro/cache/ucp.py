@@ -1,0 +1,99 @@
+"""Utility-based cache partitioning (Qureshi & Patt, MICRO 2006).
+
+The classic miss-minimising partitioner, included as the reference point the
+paper contrasts with: UCP maximises total hits with no notion of QoS or
+energy, which is exactly why independent cache control "loses its
+effectiveness" under per-application performance constraints (thesis §3.1).
+
+``ucp_lookahead`` implements the paper's greedy lookahead algorithm;
+``ucp_optimal`` is an exact dynamic program used by the tests to bound the
+greedy solution's quality and by the RM1 analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = ["ucp_lookahead", "ucp_optimal"]
+
+
+def _max_marginal_utility(hit_curve: np.ndarray, have: int, remaining: int) -> tuple[float, int]:
+    """Best (utility/way, ways) pair for one app in the lookahead step."""
+    best_mu = -1.0
+    best_k = 1
+    base = hit_curve[have - 1] if have >= 1 else 0.0
+    for k in range(1, remaining + 1):
+        gain = hit_curve[have + k - 1] - base
+        mu = gain / k
+        if mu > best_mu:
+            best_mu = mu
+            best_k = k
+    return best_mu, best_k
+
+
+def ucp_lookahead(hit_curves: list[np.ndarray], total_ways: int, min_ways: int = 1) -> tuple[int, ...]:
+    """Greedy lookahead partitioning maximising total hits.
+
+    Parameters
+    ----------
+    hit_curves:
+        Per-app cumulative hit counts indexed by allocated ways (1-based via
+        index ``w-1``), e.g. ``ATDProfile.hit_curve()``.
+    total_ways:
+        LLC associativity to distribute.
+    min_ways:
+        Minimum ways per app (the paper's RMAs guarantee 1).
+    """
+    napps = len(hit_curves)
+    require(napps >= 1, "need at least one app")
+    require(total_ways >= napps * min_ways, "not enough ways for the minimum allocation")
+    for curve in hit_curves:
+        require(len(curve) >= total_ways - (napps - 1) * min_ways, "hit curve too short")
+
+    alloc = [min_ways] * napps
+    remaining = total_ways - sum(alloc)
+    while remaining > 0:
+        best_app, best_mu, best_k = -1, -1.0, 1
+        for a, curve in enumerate(hit_curves):
+            mu, k = _max_marginal_utility(curve, alloc[a], remaining)
+            if mu > best_mu:
+                best_app, best_mu, best_k = a, mu, k
+        alloc[best_app] += best_k
+        remaining -= best_k
+    return tuple(alloc)
+
+
+def ucp_optimal(hit_curves: list[np.ndarray], total_ways: int, min_ways: int = 1) -> tuple[int, ...]:
+    """Exact hit-maximising partition by dynamic programming.
+
+    State: best total hits using the first ``a`` apps and ``s`` ways.  Used as
+    the oracle in tests and analyses; complexity ``O(napps * total_ways^2)``.
+    """
+    napps = len(hit_curves)
+    require(total_ways >= napps * min_ways, "not enough ways for the minimum allocation")
+    neg = -np.inf
+    best = np.full((napps + 1, total_ways + 1), neg)
+    choice = np.zeros((napps + 1, total_ways + 1), dtype=int)
+    best[0, 0] = 0.0
+    for a in range(1, napps + 1):
+        curve = hit_curves[a - 1]
+        max_w = total_ways - (napps - a) * min_ways
+        for s in range(a * min_ways, max_w + 1):
+            for w in range(min_ways, s - (a - 1) * min_ways + 1):
+                prev = best[a - 1, s - w]
+                if prev == neg:
+                    continue
+                val = prev + curve[w - 1]
+                if val > best[a, s]:
+                    best[a, s] = val
+                    choice[a, s] = w
+    alloc = []
+    s = total_ways
+    for a in range(napps, 0, -1):
+        w = int(choice[a, s])
+        alloc.append(w)
+        s -= w
+    alloc.reverse()
+    return tuple(alloc)

@@ -1,0 +1,134 @@
+"""Co-location advisor (thesis future work #2).
+
+"According to the experimental results the energy savings depend on the
+workload characteristics. It would be interesting to study how we can use
+this information to guide the system scheduler to collocate applications
+more efficiently."
+
+This module does exactly that: given the characterised applications (their
+miss curves and MLP grids from the simulation database), it scores candidate
+co-location groups by the *trading potential* the coordinated RMA could
+exploit, and greedily packs applications onto multi-core machines to
+maximise total predicted savings.
+
+Scoring captures the two mechanisms of the papers:
+
+* **cache trades** -- pair apps with steep miss curves (receivers) with apps
+  whose curves are flat (donors): the receiver's MPKI drop at extra ways is
+  only realisable if a co-runner gives ways up cheaply;
+* **core/VF headroom** (Paper II) -- parallelism-sensitive apps bring
+  machine-local savings regardless of co-runners.
+
+The advisor is deliberately model-based (no trial runs): it uses the same
+curves the RMA itself sees, so a real scheduler could apply it online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.simulation.database import SimulationDatabase
+from repro.util.validation import require
+
+__all__ = ["AppProfile", "profile_app", "pair_score", "suggest_colocation"]
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Scheduler-relevant summary of one application."""
+
+    name: str
+    mpki_base: float          # miss rate at the equal-share allocation
+    way_gain: float           # MPKI reduction from baseline to double share
+    way_loss: float           # MPKI increase from baseline to a single way
+    mlp_headroom: float       # relative MLP gain from the largest core
+
+    @property
+    def receiver_appetite(self) -> float:
+        """How much this app wants extra ways (steepness above baseline)."""
+        return self.way_gain
+
+    @property
+    def donor_cost(self) -> float:
+        """How much this app suffers when stripped to the minimum share."""
+        return self.way_loss
+
+
+def profile_app(system: SystemConfig, db: SimulationDatabase, name: str) -> AppProfile:
+    """Build an :class:`AppProfile` from the database's weighted curves."""
+    curve = db.weighted_mpki_curve(name)
+    mlp = db.weighted_mlp_grid(name)
+    base = system.baseline_ways
+    hi = min(len(curve), base * 2)
+    small, large = float(mlp[0, base - 1]), float(mlp[-1, base - 1])
+    return AppProfile(
+        name=name,
+        mpki_base=float(curve[base - 1]),
+        way_gain=float(curve[base - 1] - curve[hi - 1]),
+        way_loss=float(curve[0] - curve[base - 1]),
+        mlp_headroom=(large - small) / max(small, 1e-9),
+    )
+
+
+def group_score(profiles: list[AppProfile]) -> float:
+    """Predicted trading potential of one machine's application group.
+
+    The cache ways a group can trade are a *shared budget*: total receiver
+    appetite ``A`` (MPKI recoverable with extra ways) is only realisable up
+    to the donatable capacity ``C`` (how cheaply co-runners give ways up).
+    The saturating form ``A*C / (A + C)`` is concave in both, so stacking two
+    hungry receivers on one machine scores worse than spreading them across
+    machines -- the way-budget competition the RMA would actually face.
+
+    MLP headroom (Paper II's core-resize savings) needs no co-runner and adds
+    linearly.
+    """
+    if not profiles:
+        return 0.0
+    appetite = sum(p.receiver_appetite for p in profiles)
+    capacity = sum(1.0 / (1.0 + p.donor_cost) for p in profiles)
+    trade = appetite * capacity / (appetite + capacity + 1e-9)
+    solo = sum(p.mlp_headroom for p in profiles)
+    return trade + 2.0 * solo
+
+
+def pair_score(a: AppProfile, b: AppProfile) -> float:
+    """Trading potential of co-locating exactly ``a`` and ``b``."""
+    return group_score([a, b])
+
+
+def suggest_colocation(
+    system: SystemConfig,
+    db: SimulationDatabase,
+    apps: list[str],
+    ncores: int | None = None,
+) -> list[tuple[str, ...]]:
+    """Partition ``apps`` into machine-sized groups with high trade potential.
+
+    Greedy construction: seed each machine with the strongest remaining
+    receiver, then repeatedly add the app maximising the group's score --
+    which naturally surrounds receivers with cheap donors instead of other
+    receivers.  Returns groups in construction order.
+    """
+    k = ncores or system.ncores
+    require(len(apps) % k == 0, f"need a multiple of {k} applications")
+    profiles = {name: profile_app(system, db, name) for name in set(apps)}
+    remaining = sorted(apps, key=lambda n: -profiles[n].receiver_appetite)
+
+    groups: list[tuple[str, ...]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        while len(group) < k:
+            best_idx = max(
+                range(len(remaining)),
+                key=lambda i: group_score(
+                    [profiles[n] for n in group + [remaining[i]]]
+                ),
+            )
+            group.append(remaining.pop(best_idx))
+        groups.append(tuple(group))
+    return groups

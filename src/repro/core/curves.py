@@ -1,0 +1,67 @@
+"""Per-core energy curves: the interface between local and global optimisation.
+
+The local optimisation collapses the per-core configuration space to one
+curve ``E*(w)`` -- for every way allocation the minimum predicted energy per
+instruction over the (QoS-feasible) frequency/core-size choices, remembering
+which ``(c*, f*)`` achieved it.  The global optimiser then only reasons about
+way allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = ["EnergyCurve"]
+
+
+@dataclass(frozen=True)
+class EnergyCurve:
+    """``E*(w)`` with the argmin settings; infeasible ``w`` hold ``inf``."""
+
+    core_id: int
+    epi: np.ndarray        # (W,) nJ/instr; np.inf where no feasible (c, f)
+    freq_idx: np.ndarray   # (W,) int
+    core_idx: np.ndarray   # (W,) int
+
+    def __post_init__(self) -> None:
+        require(self.epi.ndim == 1, "epi must be 1-D over ways")
+        require(
+            len(self.freq_idx) == len(self.epi) and len(self.core_idx) == len(self.epi),
+            "curve arrays must have equal length",
+        )
+
+    @property
+    def max_ways(self) -> int:
+        return int(len(self.epi))
+
+    def feasible_mask(self) -> np.ndarray:
+        return np.isfinite(self.epi)
+
+    def is_feasible(self) -> bool:
+        return bool(np.any(np.isfinite(self.epi)))
+
+    def setting_at(self, ways: int) -> tuple[int, int, int]:
+        """(core_idx, freq_idx, ways) chosen at allocation ``ways``."""
+        require(np.isfinite(self.epi[ways - 1]), f"ways={ways} is infeasible")
+        return int(self.core_idx[ways - 1]), int(self.freq_idx[ways - 1]), ways
+
+    @staticmethod
+    def pinned(core_id: int, ways: int, core_idx: int, freq_idx: int, max_ways: int, epi: float = 0.0) -> "EnergyCurve":
+        """A curve feasible only at ``ways`` (e.g. a core with no statistics yet).
+
+        The paper's RMA "keeps the baseline resource setting" for cores whose
+        last-interval statistics are not yet available; a pinned curve makes
+        the global optimiser hand such a core exactly its current allocation.
+        ``epi=0`` keeps it neutral in the objective.
+        """
+        e = np.full(max_ways, np.inf)
+        f = np.zeros(max_ways, dtype=int)
+        c = np.zeros(max_ways, dtype=int)
+        e[ways - 1] = epi
+        f[ways - 1] = freq_idx
+        c[ways - 1] = core_idx
+        return EnergyCurve(core_id=core_id, epi=e, freq_idx=f, core_idx=c)

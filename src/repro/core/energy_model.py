@@ -1,0 +1,48 @@
+"""The RMA's analytical energy model: ``E_hat(c, f, w)`` from counters.
+
+Mirrors the platform's energy structure (:mod:`repro.cpu.power`) but is fed
+exclusively with online-observable estimates: the counter-calibrated dynamic
+EPI, the sampled ATD miss curve, and the performance model's predicted TPI
+(for the time-integrated static terms).  It captures "the energy consumption
+of the core and main memory accesses" as the paper specifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.cpu.counters import CounterSnapshot
+from repro.cpu.dvfs import voltage_ratio, voltage_ratio_sq
+
+__all__ = ["predict_epi_grid"]
+
+
+def predict_epi_grid(
+    system: SystemConfig,
+    snapshot: CounterSnapshot,
+    mpki_hat: np.ndarray,
+    tpi_hat: np.ndarray,
+) -> np.ndarray:
+    """Predicted ``EPI[c, f, w]`` (nJ/instr) for the next interval."""
+    freqs = system.vf.freqs_array()
+    vr = voltage_ratio(system.vf, freqs)
+    vr2 = voltage_ratio_sq(system.vf, freqs)
+    epi_factors = np.array([c.epi_factor for c in system.core_sizes])
+    leak_factors = np.array([c.leak_factor for c in system.core_sizes])
+    ways = np.arange(1, len(mpki_hat) + 1, dtype=float)
+    mpi = np.asarray(mpki_hat, dtype=float) / 1000.0
+    api = snapshot.llc_accesses / snapshot.instructions
+
+    core_dyn = snapshot.epi_dyn_est_nj * epi_factors[:, None, None] * vr2[None, :, None]
+    leak_w = system.core_leak_w * leak_factors[:, None, None] * vr[None, :, None]
+    core_static = leak_w * tpi_hat
+    llc = (
+        system.llc_access_energy_nj * api
+        + system.llc_way_static_w * ways[None, None, :] * tpi_hat
+    )
+    dram = (
+        system.mem.energy_per_access_nj * mpi[None, None, :]
+        + (system.mem.background_power_w / system.ncores) * tpi_hat
+    )
+    return core_dyn + core_static + llc + dram

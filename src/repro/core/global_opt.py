@@ -1,0 +1,120 @@
+"""Global optimisation: recursive pair-wise reduction of energy curves.
+
+The paper's optimiser "recursively reduces each pair of curves into one until
+an optimum set of {w_j} is found ... that minimizes system energy while the
+sum of w_j values equals the LLC associativity" (thesis §3.1, Fig. 3.2).
+
+Each reduction combines two curves over their summed way range:
+
+``E_ab(s) = min over s_a + s_b = s of  E_a(s_a) + E_b(s_b)``
+
+keeping the argmin split for back-tracking.  Reducing pairs in a binary tree
+gives the exact optimum (the objective is separable) in
+``O(ncores * ways^2)`` -- the "polynomial time" heuristic the paper claims,
+and the tests verify optimality against brute-force enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.curves import EnergyCurve
+from repro.core.overhead_meter import OverheadMeter
+from repro.util.validation import require
+
+__all__ = ["global_optimize"]
+
+
+@dataclass
+class _Node:
+    """A (possibly combined) curve over total allocated ways."""
+
+    min_ways: int
+    max_ways: int
+    epi: np.ndarray  # epi[s - min_ways] = best energy with s total ways
+    curve: EnergyCurve | None = None      # leaf payload
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    split: np.ndarray | None = None       # ways given to the left child per s
+
+
+def _leaf(curve: EnergyCurve, min_ways: int) -> _Node:
+    epi = curve.epi[min_ways - 1 :].copy()
+    return _Node(min_ways=min_ways, max_ways=curve.max_ways, epi=epi, curve=curve)
+
+
+def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node:
+    lo = a.min_ways + b.min_ways
+    hi = min(a.max_ways + b.max_ways, cap)
+    require(hi >= lo, "combined curve has empty range")
+    epi = np.full(hi - lo + 1, np.inf)
+    split = np.zeros(hi - lo + 1, dtype=int)
+    cells = 0
+    for s in range(lo, hi + 1):
+        sl_lo = max(a.min_ways, s - b.max_ways)
+        sl_hi = min(a.max_ways, s - b.min_ways)
+        if sl_hi < sl_lo:
+            continue
+        left_vals = a.epi[sl_lo - a.min_ways : sl_hi - a.min_ways + 1]
+        # right ways go s-sl_lo down to s-sl_hi as sl increases
+        r_hi = s - sl_lo - b.min_ways
+        r_lo = s - sl_hi - b.min_ways
+        right_vals = b.epi[r_lo : r_hi + 1][::-1]
+        total = left_vals + right_vals
+        cells += len(total)
+        k = int(np.argmin(total))
+        epi[s - lo] = total[k]
+        split[s - lo] = sl_lo + k
+    if meter is not None:
+        meter.charge_dp(cells)
+    return _Node(min_ways=lo, max_ways=hi, epi=epi, left=a, right=b, split=split)
+
+
+def _assign(node: _Node, s: int, out: dict[int, tuple[int, int, int]]) -> None:
+    if node.curve is not None:
+        out[node.curve.core_id] = node.curve.setting_at(s)
+        return
+    sl = int(node.split[s - node.min_ways])
+    _assign(node.left, sl, out)
+    _assign(node.right, s - sl, out)
+
+
+def global_optimize(
+    curves: list[EnergyCurve],
+    total_ways: int,
+    min_ways: int = 1,
+    meter: OverheadMeter | None = None,
+) -> dict[int, tuple[int, int, int]] | None:
+    """Optimal per-core ``(core_idx, freq_idx, ways)`` or None if infeasible.
+
+    ``curves`` must cover every core exactly once; the returned way counts
+    sum to ``total_ways`` exactly and each is at least ``min_ways``.
+    """
+    require(len(curves) >= 1, "need at least one curve")
+    require(
+        total_ways >= len(curves) * min_ways,
+        "associativity cannot satisfy the per-core minimum",
+    )
+    nodes = [_leaf(c, min_ways) for c in curves]
+    while len(nodes) > 1:
+        nxt = []
+        for i in range(0, len(nodes) - 1, 2):
+            nxt.append(_combine(nodes[i], nodes[i + 1], total_ways, meter))
+        if len(nodes) % 2:
+            nxt.append(nodes[-1])
+        nodes = nxt
+    root = nodes[0]
+    if len(curves) == 1:
+        # Single core owns the whole cache.
+        s = min(total_ways, root.max_ways)
+    else:
+        s = total_ways
+    if not (root.min_ways <= s <= root.max_ways):
+        return None
+    if not np.isfinite(root.epi[s - root.min_ways]):
+        return None
+    out: dict[int, tuple[int, int, int]] = {}
+    _assign(root, s, out)
+    return out

@@ -1,0 +1,91 @@
+"""Local optimisation: QoS-prune the per-core configuration space.
+
+For every way allocation ``w``, find the cheapest QoS-feasible setting:
+
+* Paper I (core size fixed): ``fmin(w)`` -- the minimum frequency whose
+  predicted performance meets the target -- then the energy at
+  ``(fmin(w), w)``;
+* Paper II: the ``(c*(w), f*(w))`` pair minimising predicted energy among
+  all QoS-feasible combinations.
+
+Both collapse to the same vectorised computation over the ``(C, F, W)``
+grids, restricted to the dimensions the manager controls
+(:class:`DimSpec`).  The result is the per-core :class:`EnergyCurve` handed
+to the global optimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.curves import EnergyCurve
+from repro.core.overhead_meter import OverheadMeter
+from repro.util.validation import require
+
+__all__ = ["DimSpec", "local_optimize"]
+
+
+@dataclass(frozen=True)
+class DimSpec:
+    """Which dimensions of the configuration space a manager may move.
+
+    ``None`` means the full range; a tuple restricts to those indices.
+    ``pin_ways`` restricts way allocations (e.g. the DVFS-only manager pins
+    every core at its baseline share).
+    """
+
+    core_indices: tuple[int, ...] | None = None
+    freq_indices: tuple[int, ...] | None = None
+    pin_ways: int | None = None
+
+    def cores(self, system: SystemConfig) -> tuple[int, ...]:
+        return self.core_indices if self.core_indices is not None else tuple(range(system.ncore_sizes))
+
+    def freqs(self, system: SystemConfig) -> tuple[int, ...]:
+        return self.freq_indices if self.freq_indices is not None else tuple(range(system.vf.nlevels))
+
+
+def local_optimize(
+    system: SystemConfig,
+    core_id: int,
+    tpi_grid: np.ndarray,
+    epi_grid: np.ndarray,
+    target_tpi: float,
+    dims: DimSpec,
+    meter: OverheadMeter | None = None,
+) -> EnergyCurve:
+    """Collapse ``(C, F, W)`` grids into an :class:`EnergyCurve` over ``w``."""
+    require(tpi_grid.shape == epi_grid.shape, "grid shape mismatch")
+    n_c, n_f, n_w = tpi_grid.shape
+
+    cores = np.asarray(dims.cores(system), dtype=int)
+    freqs = np.asarray(dims.freqs(system), dtype=int)
+    if meter is not None:
+        meter.charge_grid(len(cores) * len(freqs) * n_w)
+
+    sub_tpi = tpi_grid[np.ix_(cores, freqs, np.arange(n_w))]
+    sub_epi = epi_grid[np.ix_(cores, freqs, np.arange(n_w))]
+    feasible = sub_tpi <= target_tpi
+    masked = np.where(feasible, sub_epi, np.inf)
+
+    if dims.pin_ways is not None:
+        keep = np.zeros(n_w, dtype=bool)
+        keep[dims.pin_ways - 1] = True
+        masked = np.where(keep[None, None, :], masked, np.inf)
+
+    flat = masked.reshape(-1, n_w)               # (C'*F', W)
+    best = np.argmin(flat, axis=0)               # (W,)
+    epi = flat[best, np.arange(n_w)]
+    c_sel = cores[best // len(freqs)]
+    f_sel = freqs[best % len(freqs)]
+    # Infeasible columns keep inf epi; their (c, f) entries are meaningless
+    # but harmless because the global optimiser never selects them.
+    return EnergyCurve(
+        core_id=core_id,
+        epi=epi,
+        freq_idx=f_sel.astype(int),
+        core_idx=c_sel.astype(int),
+    )

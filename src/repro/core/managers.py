@@ -1,0 +1,289 @@
+"""The resource managers evaluated in the papers.
+
+All managers share one engine (:class:`CoordinatedManager`): analytical
+models -> QoS-pruned local optimisation -> global curve reduction.  The
+papers' schemes are restrictions of its dimension set:
+
+* ``rm1_partitioning_only`` -- LLC partitioning at fixed baseline VF/core
+  (Paper I's "Partitioning RMA" / Paper II's RM1);
+* ``rm2_combined`` -- per-core DVFS + LLC partitioning (Paper I's proposal,
+  Paper II's RM2);
+* ``rm3_core_adaptive`` -- core size + DVFS + LLC partitioning (Paper II's
+  proposal, RM3);
+* ``dvfs_only`` -- per-core DVFS at the fixed equal LLC split (the scheme
+  the paper notes "cannot save energy without degrading the performance"
+  under strict QoS);
+* :class:`StaticBaselineManager` -- the QoS anchor: never reconfigures.
+
+Realistic managers decide from the invoking core's last-interval counters and
+sampled ATD readings, holding other cores' curves from their own last
+invocations (exactly the paper's protocol, including keeping the baseline
+setting until a core has statistics).  ``oracle=True`` gives every decision
+error-free statistics for the *upcoming* interval of every core -- the
+paper's "perfect models" configuration.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.config import Allocation, SystemConfig
+from repro.core.curves import EnergyCurve
+from repro.core.energy_model import predict_epi_grid
+from repro.core.global_opt import global_optimize
+from repro.core.local_opt import DimSpec, local_optimize
+from repro.core.models import MLP_MODELS
+from repro.core.overhead_meter import OverheadMeter
+from repro.core.perf_model import predict_tpi_grid
+from repro.core.qos import qos_target_tpi
+
+__all__ = [
+    "ResourceManager",
+    "StaticBaselineManager",
+    "CoordinatedManager",
+    "IndependentManager",
+    "rm1_partitioning_only",
+    "rm2_combined",
+    "rm3_core_adaptive",
+    "dvfs_only",
+]
+
+
+class ResourceManager(ABC):
+    """Interface the RMA simulator drives.
+
+    ``attach`` is called once per simulation run and must reset all run
+    state; ``on_interval`` is called on the core that just completed an
+    execution interval and may return a full new allocation map.
+    """
+
+    name: str = "manager"
+
+    def __init__(self) -> None:
+        self.meter = OverheadMeter()
+        self.sim = None
+
+    def attach(self, sim) -> None:
+        self.sim = sim
+        self.meter = OverheadMeter()
+
+    @abstractmethod
+    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        """Decide new allocations after ``core_id`` finished an interval."""
+
+
+class StaticBaselineManager(ResourceManager):
+    """The baseline: every core keeps the baseline allocation forever."""
+
+    name = "baseline"
+
+    def on_interval(self, core_id: int) -> None:
+        return None
+
+
+class CoordinatedManager(ResourceManager):
+    """The paper's coordinated RMA engine (configurable dimensions)."""
+
+    def __init__(
+        self,
+        name: str,
+        control_dvfs: bool = True,
+        control_core_size: bool = False,
+        control_partitioning: bool = True,
+        mlp_model: str = "model2",
+        oracle: bool = False,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.control_dvfs = control_dvfs
+        self.control_core_size = control_core_size
+        self.control_partitioning = control_partitioning
+        self.model = MLP_MODELS[mlp_model]
+        self.oracle = oracle
+        self.curves: dict[int, EnergyCurve] = {}
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        self.curves = {}
+
+    # -- dimension restrictions ---------------------------------------------
+    def _dims(self, system: SystemConfig) -> DimSpec:
+        cores = None if self.control_core_size else (system.baseline_core_index,)
+        freqs = None if self.control_dvfs else (system.baseline_freq_index,)
+        pin = None if self.control_partitioning else system.baseline_ways
+        return DimSpec(core_indices=cores, freq_indices=freqs, pin_ways=pin)
+
+    # -- curve construction ---------------------------------------------------
+    def _oracle_curve(self, core_id: int) -> EnergyCurve:
+        sim, system = self.sim, self.sim.system
+        rec = sim.upcoming_record(core_id)
+        target = qos_target_tpi(system, rec.tpi, sim.slack(core_id))
+        return local_optimize(
+            system, core_id, rec.tpi, rec.epi, target, self._dims(system), self.meter
+        )
+
+    def _analytical_curve(self, core_id: int) -> EnergyCurve:
+        sim, system = self.sim, self.sim.system
+        snap = sim.completed_snapshot(core_id)
+        rec = sim.completed_record(core_id)
+        mlp_hat = self.model.mlp_hat(system, snap, rec.mlp_sampled)
+        tpi = predict_tpi_grid(system, snap, rec.mpki_sampled, mlp_hat)
+        epi = predict_epi_grid(system, snap, rec.mpki_sampled, tpi)
+        target = qos_target_tpi(system, tpi, sim.slack(core_id))
+        return local_optimize(
+            system, core_id, tpi, epi, target, self._dims(system), self.meter
+        )
+
+    def _pinned_curve(self, core_id: int) -> EnergyCurve:
+        """Baseline-pinned curve for a core without statistics yet."""
+        system = self.sim.system
+        base = system.baseline_allocation()
+        return EnergyCurve.pinned(
+            core_id,
+            ways=base.ways,
+            core_idx=base.core,
+            freq_idx=base.freq,
+            max_ways=system.llc.ways,
+        )
+
+    # -- the decision ----------------------------------------------------------
+    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        sim, system = self.sim, self.sim.system
+        self.meter.begin_invocation()
+
+        if self.oracle:
+            curves = [self._oracle_curve(j) for j in range(system.ncores)]
+        else:
+            self.curves[core_id] = self._analytical_curve(core_id)
+            curves = [
+                self.curves[j] if j in self.curves else self._pinned_curve(j)
+                for j in range(system.ncores)
+            ]
+
+        assignment = global_optimize(
+            curves,
+            total_ways=system.llc.ways,
+            min_ways=system.min_ways_per_core,
+            meter=self.meter,
+        )
+        if assignment is None:
+            return None
+        return {
+            j: Allocation(core=c, freq=f, ways=w)
+            for j, (c, f, w) in assignment.items()
+        }
+
+
+def rm1_partitioning_only(oracle: bool = False, mlp_model: str = "model2") -> CoordinatedManager:
+    """RM1: LLC partitioning only, at baseline VF and core size."""
+    return CoordinatedManager(
+        name="rm1-partitioning",
+        control_dvfs=False,
+        control_core_size=False,
+        control_partitioning=True,
+        mlp_model=mlp_model,
+        oracle=oracle,
+    )
+
+
+def rm2_combined(oracle: bool = False, mlp_model: str = "model2") -> CoordinatedManager:
+    """RM2: coordinated per-core DVFS + LLC partitioning (Paper I)."""
+    return CoordinatedManager(
+        name="rm2-combined",
+        control_dvfs=True,
+        control_core_size=False,
+        control_partitioning=True,
+        mlp_model=mlp_model,
+        oracle=oracle,
+    )
+
+
+def rm3_core_adaptive(oracle: bool = False, mlp_model: str = "model3") -> CoordinatedManager:
+    """RM3: core size + DVFS + LLC partitioning (Paper II)."""
+    return CoordinatedManager(
+        name="rm3-core-adaptive",
+        control_dvfs=True,
+        control_core_size=True,
+        control_partitioning=True,
+        mlp_model=mlp_model,
+        oracle=oracle,
+    )
+
+
+def dvfs_only(oracle: bool = False, mlp_model: str = "model2") -> CoordinatedManager:
+    """Per-core DVFS at the fixed equal LLC split (ablation)."""
+    return CoordinatedManager(
+        name="dvfs-only",
+        control_dvfs=True,
+        control_core_size=False,
+        control_partitioning=False,
+        mlp_model=mlp_model,
+        oracle=oracle,
+    )
+
+class IndependentManager(ResourceManager):
+    """Uncoordinated controllers: UCP cache partitioning + per-core DVFS.
+
+    The strawman the paper argues against (thesis §3.1): the cache controller
+    partitions to *minimise total misses* (Qureshi-Patt UCP) with no notion of
+    per-application QoS; a separate DVFS controller then tries to hold each
+    core's QoS at whatever allocation it was handed.  When UCP strips a
+    cache-sensitive application of its ways, no frequency can recover the lost
+    performance (the memory term is frequency-independent) and the QoS
+    constraint is violated -- the precise failure mode that motivates
+    coordinated management.
+    """
+
+    name = "independent-ucp-dvfs"
+
+    def __init__(self, mlp_model: str = "model2") -> None:
+        super().__init__()
+        self.model = MLP_MODELS[mlp_model]
+        self.hit_curves: dict[int, object] = {}
+        self.snapshots: dict[int, object] = {}
+
+    def attach(self, sim) -> None:
+        super().attach(sim)
+        self.hit_curves = {}
+        self.snapshots = {}
+
+    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        import numpy as np
+
+        from repro.cache.ucp import ucp_lookahead
+
+        sim, system = self.sim, self.sim.system
+        self.meter.begin_invocation()
+        snap = sim.completed_snapshot(core_id)
+        rec = sim.completed_record(core_id)
+        # per-way hits/kilo-instruction from the sampled ATD
+        self.hit_curves[core_id] = rec.apki - np.asarray(rec.mpki_sampled)
+        self.snapshots[core_id] = (snap, rec)
+
+        if len(self.hit_curves) < system.ncores:
+            return None  # UCP waits until every core has a profile
+
+        order = sorted(self.hit_curves)
+        alloc_ways = ucp_lookahead(
+            [self.hit_curves[j] for j in order],
+            total_ways=system.llc.ways,
+            min_ways=system.min_ways_per_core,
+        )
+        self.meter.charge_dp(system.llc.ways * system.ncores)
+
+        out: dict[int, Allocation] = {}
+        for j, ways in zip(order, alloc_ways):
+            snap_j, rec_j = self.snapshots[j]
+            mlp_hat = self.model.mlp_hat(system, snap_j, rec_j.mlp_sampled)
+            tpi = predict_tpi_grid(system, snap_j, rec_j.mpki_sampled, mlp_hat)
+            epi = predict_epi_grid(system, snap_j, rec_j.mpki_sampled, tpi)
+            target = qos_target_tpi(system, tpi, sim.slack(j))
+            dims = DimSpec(core_indices=(system.baseline_core_index,), pin_ways=ways)
+            curve = local_optimize(system, j, tpi, epi, target, dims, self.meter)
+            if np.isfinite(curve.epi[ways - 1]):
+                c, f, w = curve.setting_at(ways)
+            else:
+                # No frequency can hold QoS at this allocation: run flat out.
+                c, f, w = system.baseline_core_index, system.vf.nlevels - 1, ways
+            out[j] = Allocation(core=c, freq=f, ways=w)
+        return out

@@ -1,0 +1,59 @@
+"""The three memory-stall models compared in Paper II.
+
+All three predict the per-instruction memory stall time as
+``mpki(w)/1000 * L / MLP_hat(c, w)``; they differ in ``MLP_hat``:
+
+* **Model 1** -- naive: every miss costs a full average memory access
+  latency (``MLP_hat = 1``).  Overestimates stalls for overlap-rich phases.
+* **Model 2** -- Paper I's assumption: the MLP observed over the last
+  interval is constant across core sizes and way allocations.
+* **Model 3** -- Paper II: per-``(c, w)`` MLP estimates from the MLP-aware
+  ATD (set-sampled, fixed-point quantised).
+
+Each model also owns the matching execution-CPI estimate: the stall cycles it
+attributes to memory are subtracted from total cycles, so Model 1's
+overestimation of stalls mechanically distorts its compute-side prediction
+too -- the same coupling a real counter-based implementation would have.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.cpu.counters import CounterSnapshot
+
+__all__ = ["Model1", "Model2", "Model3", "MLP_MODELS"]
+
+
+class Model1:
+    """misses x average single-access latency (no overlap)."""
+
+    name = "model1"
+
+    @staticmethod
+    def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        return np.ones((system.ncore_sizes, system.llc.ways), dtype=float)
+
+
+class Model2:
+    """Constant MLP: last interval's observed overlap everywhere (Paper I)."""
+
+    name = "model2"
+
+    @staticmethod
+    def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        return np.full((system.ncore_sizes, system.llc.ways), snapshot.mlp_observed, dtype=float)
+
+
+class Model3:
+    """Per-(core size, ways) MLP from the MLP-aware ATD (Paper II)."""
+
+    name = "model3"
+
+    @staticmethod
+    def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        return np.asarray(mlp_sampled, dtype=float)
+
+
+MLP_MODELS = {m.name: m for m in (Model1, Model2, Model3)}

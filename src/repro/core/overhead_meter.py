@@ -1,0 +1,69 @@
+"""Accounting of the RMA's own execution cost.
+
+The paper reports the overhead of a C implementation of the RMA in executed
+instructions (< 40 K for a 4-core Paper I system; 18 K / 40 K / 67 K for
+2/4/8-core Paper II systems -- under 0.1 % of a 100 M-instruction interval).
+
+We meter the same quantity by charging an instruction-cost constant for each
+elementary operation the algorithm performs: one per evaluated configuration
+grid point (the analytical models are a handful of multiplies/divides per
+point), one per dynamic-programming cell in the curve reduction, plus a fixed
+per-invocation cost for counter collection and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OverheadMeter", "COST_GRID_POINT", "COST_DP_CELL", "COST_FIXED"]
+
+#: Instructions per evaluated (c, f, w) model point (flops + loads + branch).
+COST_GRID_POINT = 26
+#: Instructions per DP cell in the pairwise curve reduction.
+COST_DP_CELL = 9
+#: Fixed instructions per invocation (counter reads, ATD readout, apply).
+COST_FIXED = 900
+
+
+@dataclass
+class OverheadMeter:
+    """Accumulates the RMA's instruction-equivalent execution cost."""
+
+    instructions: float = 0.0
+    invocations: int = 0
+    grid_points: int = 0
+    dp_cells: int = 0
+    _per_invocation: list = field(default_factory=list)
+
+    def begin_invocation(self) -> None:
+        self.invocations += 1
+        self._per_invocation.append(COST_FIXED)
+        self.instructions += COST_FIXED
+
+    def charge_grid(self, points: int) -> None:
+        self.grid_points += points
+        cost = points * COST_GRID_POINT
+        self.instructions += cost
+        if self._per_invocation:
+            self._per_invocation[-1] += cost
+
+    def charge_dp(self, cells: int) -> None:
+        self.dp_cells += cells
+        cost = cells * COST_DP_CELL
+        self.instructions += cost
+        if self._per_invocation:
+            self._per_invocation[-1] += cost
+
+    @property
+    def instructions_per_invocation(self) -> float:
+        if not self.invocations:
+            return 0.0
+        return self.instructions / self.invocations
+
+    @property
+    def max_invocation_instructions(self) -> float:
+        return max(self._per_invocation, default=0.0)
+
+    def overhead_fraction(self, interval_instructions: int) -> float:
+        """RMA instructions as a fraction of one execution interval."""
+        return self.instructions_per_invocation / interval_instructions

@@ -1,0 +1,69 @@
+"""The RMA's analytical performance model: ``T_hat(c, f, w)`` from counters.
+
+Implements the paper's prediction step: using the last interval's hardware
+counters and the ATD miss curve, predict the time-per-instruction for *every*
+candidate configuration:
+
+``T_hat(c,f,w) = exec_cpi_hat(c) / f + mpki_hat(w)/1000 * L_hat / MLP_hat(c,w)``
+
+Estimation structure (all inputs are online-observable):
+
+* ``exec_cpi_hat`` -- total CPI minus the *measured* memory-stall CPI (a
+  standard hardware counter: cycles with no retirement due to a pending
+  last-level miss), rescaled across core sizes with the calibrated ILP
+  factor at the counter-estimated ILP index.  All three memory-stall models
+  share this decomposition; they differ only in how they predict stalls at
+  *candidate* configurations;
+* ``mpki_hat(w)`` -- the sampled ATD miss curve;
+* ``L_hat`` -- the observed average memory latency (held constant across
+  ``w``; ignoring the queueing change with allocation is a deliberate,
+  realistic model simplification);
+* ``MLP_hat`` -- per the chosen model (:mod:`repro.core.models`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.cpu.counters import CounterSnapshot
+from repro.cpu.microarch import ilp_cpi_factor
+
+__all__ = ["predict_tpi_grid", "exec_cpi_estimate"]
+
+
+def exec_cpi_estimate(
+    system: SystemConfig,
+    snapshot: CounterSnapshot,
+) -> np.ndarray:
+    """Estimated execution CPI per core size, ``shape (C,)``.
+
+    Uses the measured stall-cycle counter for the compute/memory split (all
+    models share it) and rescales across core sizes via the calibrated ILP
+    factor at the counter-estimated ILP index.
+    """
+    cur_core = system.core_sizes[snapshot.core_index]
+    cur_factor = ilp_cpi_factor(cur_core, snapshot.ilp_index_est)
+    out = np.empty(system.ncore_sizes, dtype=float)
+    for ci, core in enumerate(system.core_sizes):
+        factor = ilp_cpi_factor(core, snapshot.ilp_index_est)
+        exec_cpi = snapshot.exec_cpi * factor / cur_factor
+        out[ci] = max(exec_cpi, 1.0 / core.width)
+    return out
+
+
+def predict_tpi_grid(
+    system: SystemConfig,
+    snapshot: CounterSnapshot,
+    mpki_hat: np.ndarray,
+    mlp_hat: np.ndarray,
+) -> np.ndarray:
+    """Predicted ``TPI[c, f, w]`` (ns/instr) for the next interval."""
+    freqs = system.vf.freqs_array()
+    exec_cpi = exec_cpi_estimate(system, snapshot)               # (C,)
+    mpi = np.asarray(mpki_hat, dtype=float) / 1000.0             # (W,)
+    mem_tpi = (mpi[None, :] / mlp_hat) * snapshot.avg_mem_latency_ns  # (C, W)
+    return (
+        exec_cpi[:, None, None] / freqs[None, :, None]
+        + mem_tpi[:, None, :]
+    )

@@ -1,0 +1,19 @@
+"""CPU substrate: DVFS, reconfigurable micro-architecture, timing and power."""
+
+from repro.cpu.dvfs import dvfs_transition_cost_ns, voltage_ratio_sq
+from repro.cpu.microarch import ilp_cpi_factor, exec_cpi_by_size
+from repro.cpu.interval_model import PhaseExecution, timing_grid
+from repro.cpu.power import energy_grid
+from repro.cpu.counters import CounterSnapshot, observe_counters
+
+__all__ = [
+    "dvfs_transition_cost_ns",
+    "voltage_ratio_sq",
+    "ilp_cpi_factor",
+    "exec_cpi_by_size",
+    "PhaseExecution",
+    "timing_grid",
+    "energy_grid",
+    "CounterSnapshot",
+    "observe_counters",
+]

@@ -1,0 +1,38 @@
+"""DVFS helpers: voltage scaling factors and transition costs.
+
+The quadratic dependence of dynamic energy on voltage is the physical lever
+behind the paper's central trade-off: an application that gains cache ways
+can lower its frequency (and voltage) while holding performance, cutting
+dynamic energy quadratically -- whereas compensating lost ways with a higher
+VF costs quadratically and does nothing for memory stall time (thesis §3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import VFTable
+
+__all__ = ["voltage_ratio_sq", "voltage_ratio", "dvfs_transition_cost_ns"]
+
+
+def voltage_ratio(vf: VFTable, f_ghz: float | np.ndarray) -> np.ndarray:
+    """``V(f) / Vnom`` -- the leakage-power scaling factor."""
+    return (vf.v0 + vf.kv * np.asarray(f_ghz, dtype=float)) / vf.vnom
+
+
+def voltage_ratio_sq(vf: VFTable, f_ghz: float | np.ndarray) -> np.ndarray:
+    """``(V(f) / Vnom)^2`` -- the dynamic-energy scaling factor."""
+    r = voltage_ratio(vf, f_ghz)
+    return r * r
+
+
+def dvfs_transition_cost_ns(transition_us: float, old_index: int, new_index: int) -> float:
+    """Stall time of a VF transition (zero when the level is unchanged).
+
+    Modelled as a fixed PLL/regulator relock stall, independent of the level
+    distance -- the common behaviour of integrated voltage regulators.
+    """
+    if old_index == new_index:
+        return 0.0
+    return transition_us * 1000.0

@@ -1,0 +1,72 @@
+"""Ground-truth mechanistic timing model (the "Sniper" of this repo).
+
+Sniper's interval core model decomposes CPI into an execution component and
+miss-event penalties; we implement the same first-order decomposition over
+the full per-core configuration grid ``(core size c, frequency f, ways w)``:
+
+``TPI(c,f,w) [ns/instr] = cpi_exe(c) / f  +  mpi(w) * L_eff(c,w) / MLP(c,w)``
+
+The memory term is wall-clock (frequency-independent): off-chip latency does
+not scale with the core clock, which is the physical fact every DVFS/cache
+trade-off in the paper rests on.  ``L_eff`` includes a bandwidth queueing
+term solved by fixed-point iteration (the demanded bandwidth depends on TPI,
+which depends on the latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.cpu.microarch import exec_cpi_by_size
+from repro.mem.dram import effective_latency_ns
+from repro.util.validation import require
+from repro.workloads.phases import PhaseSpec
+
+__all__ = ["PhaseExecution", "timing_grid", "FIXED_POINT_ITERS"]
+
+#: Fixed-point iterations for the latency/bandwidth loop (converges in 2-3).
+FIXED_POINT_ITERS = 4
+
+
+@dataclass(frozen=True)
+class PhaseExecution:
+    """Per-phase microarchitecture-independent inputs to the timing model."""
+
+    spec: PhaseSpec
+    mpki: np.ndarray          # (ways,) ground-truth miss curve
+    mlp: np.ndarray           # (ncore_sizes, ways) ground-truth overlap factors
+
+    def __post_init__(self) -> None:
+        require(self.mlp.ndim == 2, "mlp must be (ncore_sizes, ways)")
+        require(self.mlp.shape[1] == len(self.mpki), "mlp/mpki ways mismatch")
+
+
+def timing_grid(system: SystemConfig, phase: PhaseExecution) -> tuple[np.ndarray, np.ndarray]:
+    """Ground-truth ``TPI[c, f, w]`` (ns/instr) and ``L_eff[c, f, w]`` (ns).
+
+    Returns both so the power model can charge queueing-inflated DRAM time
+    consistently and the counter model can report the observed latency.
+    """
+    freqs = system.vf.freqs_array()                      # (F,)
+    cpi_exe = exec_cpi_by_size(system, phase.spec.base_cpi, phase.spec.ilp_sensitivity)  # (C,)
+    mpi = phase.mpki / 1000.0                            # (W,)
+    mlp = phase.mlp                                      # (C, W)
+
+    compute_tpi = cpi_exe[:, None, None] / freqs[None, :, None]     # (C, F, 1)
+    per_miss = (mpi[None, :] / mlp)[:, None, :]                     # (C, 1, W)
+
+    latency = np.full(
+        (system.ncore_sizes, len(freqs), len(phase.mpki)), system.mem.latency_ns
+    )
+    share = system.per_core_bw_gbps
+    mpi_b = mpi[None, None, :]
+    for _ in range(FIXED_POINT_ITERS):
+        tpi = compute_tpi + per_miss * latency
+        latency = effective_latency_ns(
+            system.mem, share, mpi_b, tpi, system.llc.line_bytes
+        )
+    tpi = compute_tpi + per_miss * latency
+    return tpi, latency

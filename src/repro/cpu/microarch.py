@@ -1,0 +1,40 @@
+"""Re-configurable core micro-architecture (Paper II substrate).
+
+Paper II's processor can deactivate sections of its micro-architectural
+resources (ROB/issue/MSHR segments, à la Albonesi et al.).  We expose that as
+the discrete :class:`~repro.config.CoreSize` ladder; this module maps a
+phase's *ILP sensitivity* onto the execution-CPI multiplier of each size.
+
+A fully sensitive phase (sensitivity 1) tracks the size's full
+``ilp_speedup``; an insensitive phase only pays/earns the structural floor
+(pipeline width effects every program sees).  MLP effects of core size are
+handled separately in :mod:`repro.mem.mlp`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CoreSize, SystemConfig
+from repro.util.validation import require_prob
+
+__all__ = ["ilp_cpi_factor", "exec_cpi_by_size"]
+
+
+def ilp_cpi_factor(core: CoreSize, ilp_sensitivity: float) -> float:
+    """Execution-CPI multiplier of ``core`` relative to the medium size."""
+    require_prob(ilp_sensitivity, "ilp_sensitivity")
+    return core.ilp_floor + (core.ilp_speedup - core.ilp_floor) * ilp_sensitivity
+
+
+def exec_cpi_by_size(system: SystemConfig, base_cpi: float, ilp_sensitivity: float) -> np.ndarray:
+    """Execution (non-memory) CPI for every core size, ``shape (ncore_sizes,)``.
+
+    ``base_cpi`` is the medium-core execution CPI; the result is floored at
+    ``1 / width`` (a core cannot commit faster than its issue width).
+    """
+    out = np.empty(system.ncore_sizes, dtype=float)
+    for i, core in enumerate(system.core_sizes):
+        cpi = base_cpi * ilp_cpi_factor(core, ilp_sensitivity)
+        out[i] = max(cpi, 1.0 / core.width)
+    return out

@@ -1,0 +1,62 @@
+"""Ground-truth energy model (the "McPAT" of this repo).
+
+Per-instruction energy of one core and the memory traffic it causes:
+
+* **core dynamic** -- activity energy scaled by the size factor of the core
+  configuration and quadratically by supply voltage;
+* **core static** -- leakage power (scaled by area and linearly by voltage)
+  integrated over the time per instruction, which is what penalises slow,
+  stretched executions;
+* **LLC** -- per-access dynamic energy plus the static power of the ways the
+  core owns (way-granular power budgeting, as in way-partitioned caches);
+* **DRAM** -- per-miss access energy plus the core's share of background
+  power.
+
+The RMA's analytical energy model (:mod:`repro.core.energy_model`) mirrors
+these terms from counters; this module is the ground truth it approximates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.cpu.dvfs import voltage_ratio, voltage_ratio_sq
+from repro.cpu.interval_model import PhaseExecution
+
+__all__ = ["energy_grid"]
+
+
+def energy_grid(
+    system: SystemConfig,
+    phase: PhaseExecution,
+    tpi: np.ndarray,
+) -> np.ndarray:
+    """Ground-truth ``EPI[c, f, w]`` in nJ/instruction.
+
+    ``tpi`` is the matching timing grid from
+    :func:`repro.cpu.interval_model.timing_grid`.
+    """
+    spec = phase.spec
+    freqs = system.vf.freqs_array()
+    vr = voltage_ratio(system.vf, freqs)          # (F,)
+    vr2 = voltage_ratio_sq(system.vf, freqs)      # (F,)
+
+    epi_factors = np.array([c.epi_factor for c in system.core_sizes])     # (C,)
+    leak_factors = np.array([c.leak_factor for c in system.core_sizes])   # (C,)
+    ways = np.arange(1, len(phase.mpki) + 1, dtype=float)                 # (W,)
+    mpi = phase.mpki / 1000.0                                             # (W,)
+    api = spec.apki / 1000.0
+
+    core_dyn = spec.epi_dyn * epi_factors[:, None, None] * vr2[None, :, None]
+    leak_w = system.core_leak_w * leak_factors[:, None, None] * vr[None, :, None]
+    core_static = leak_w * tpi
+    llc = (
+        system.llc_access_energy_nj * api
+        + system.llc_way_static_w * ways[None, None, :] * tpi
+    )
+    dram = (
+        system.mem.energy_per_access_nj * mpi[None, None, :]
+        + (system.mem.background_power_w / system.ncores) * tpi
+    )
+    return core_dyn + core_static + llc + dram

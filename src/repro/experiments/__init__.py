@@ -1,0 +1,20 @@
+"""Experiment drivers: one per table/figure of the papers' evaluations.
+
+``EXPERIMENTS`` maps experiment ids (E1..E16 plus ablations) to drivers; each
+driver returns an :class:`~repro.experiments.report.ExperimentResult` whose
+rows correspond to the rows/series of the paper artefact and whose summary
+records the paper-reported reference values next to the measured ones.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import ExperimentContext, get_context
+
+__all__ = [
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "ExperimentResult",
+    "ExperimentContext",
+    "get_context",
+]

@@ -1,0 +1,58 @@
+"""Command-line entry point: regenerate paper artefacts.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run E1 E3 ...       # or: run all
+    repro-experiments run all --markdown EXPERIMENTS.md
+
+Fidelity knobs via environment: ``REPRO_MAX_SLICES`` (truncate traces),
+``REPRO_ACCESSES_PER_SET`` (trace density), ``REPRO_PROCESSES`` (workers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-experiments", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run_p = sub.add_parser("run", help="run experiments and print their tables")
+    run_p.add_argument("ids", nargs="+", help="experiment ids (e.g. E1 E9) or 'all'")
+    run_p.add_argument("--markdown", metavar="PATH", default=None,
+                       help="append markdown blocks to PATH")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for entry in EXPERIMENTS.values():
+            print(f"{entry.experiment_id:4s} paper {entry.paper:8s} {entry.artefact}")
+        return 0
+
+    ids = list(EXPERIMENTS) if [i.lower() for i in args.ids] == ["all"] else args.ids
+    blocks = []
+    for eid in ids:
+        entry = get_experiment(eid)
+        t0 = time.perf_counter()
+        result = entry.run()
+        dt = time.perf_counter() - t0
+        print(result.render())
+        print(f"[{eid} completed in {dt:.1f}s]")
+        print()
+        blocks.append(result.markdown())
+    if args.markdown:
+        with open(args.markdown, "a", encoding="utf-8") as fh:
+            fh.write("\n".join(blocks))
+        print(f"appended {len(blocks)} experiment blocks to {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

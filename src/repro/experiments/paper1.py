@@ -1,0 +1,289 @@
+"""Paper I experiment drivers (IPDPS 2019): E1 .. E8.
+
+Each driver regenerates one table/figure of the paper's evaluation; the
+returned :class:`ExperimentResult` carries the measured headline numbers next
+to the values the paper reports (thesis §3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    DVFS_ONLY,
+    RM1,
+    RM2,
+    ExperimentContext,
+    ManagerSpec,
+    get_context,
+    rm2_oracle,
+)
+from repro.simulation.metrics import WorkloadComparison
+from repro.util.stats import summarize
+from repro.workloads.mixes import paper1_workloads
+
+__all__ = [
+    "e1_savings_4core",
+    "e2_savings_8core",
+    "e3_qos_violations",
+    "e4_perfect_models",
+    "e5_relaxation_sweep",
+    "e6_partial_relaxation",
+    "e7_baseline_vf_sensitivity",
+    "e8_rma_overhead",
+]
+
+
+def _savings_by_workload(
+    ctx: ExperimentContext, ncores: int, specs: list[ManagerSpec]
+) -> tuple[list, dict[str, dict[str, WorkloadComparison]]]:
+    workloads = paper1_workloads(ncores)
+    matrix = ctx.run_matrix(workloads, specs)
+    rows = []
+    per_wl: dict[str, dict[str, WorkloadComparison]] = {}
+    for wl in workloads:
+        row = [wl.name, wl.tag]
+        per_wl[wl.name] = {}
+        for spec in specs:
+            cmp = matrix[(wl.name, spec.name)]
+            per_wl[wl.name][spec.name] = cmp
+            row.append(cmp.savings_pct)
+        rows.append(row)
+    return rows, per_wl
+
+
+def e1_savings_4core(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Paper I figure: energy savings per 4-core workload, RM2 vs RM1."""
+    ctx = ctx or get_context(4)
+    rows, per_wl = _savings_by_workload(ctx, 4, [RM1, RM2])
+    rm1 = [r[2] for r in rows]
+    rm2 = [r[3] for r in rows]
+    rows.append(["mean", "", float(np.mean(rm1)), float(np.mean(rm2))])
+    return ExperimentResult(
+        experiment_id="E1",
+        title="Energy savings, 4-core workloads (Combined vs Partitioning RMA)",
+        headers=["workload", "pattern", "rm1-partitioning %", "rm2-combined %"],
+        rows=rows,
+        summary={
+            "rm2 avg %": float(np.mean(rm2)),
+            "rm2 max %": float(np.max(rm2)),
+            "rm1 avg %": float(np.mean(rm1)),
+        },
+        paper={"rm2 avg %": 6.0, "rm2 max %": 18.0, "rm1 avg %": 1.0},
+        notes="Combined RMA is most effective on workloads containing a cache-sensitive application.",
+    )
+
+
+def e2_savings_8core(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Paper I figure: energy savings per 8-core workload."""
+    ctx = ctx or get_context(8)
+    rows, _ = _savings_by_workload(ctx, 8, [RM1, RM2])
+    rm1 = [r[2] for r in rows]
+    rm2 = [r[3] for r in rows]
+    rows.append(["mean", "", float(np.mean(rm1)), float(np.mean(rm2))])
+    return ExperimentResult(
+        experiment_id="E2",
+        title="Energy savings, 8-core workloads (Combined vs Partitioning RMA)",
+        headers=["workload", "pattern", "rm1-partitioning %", "rm2-combined %"],
+        rows=rows,
+        summary={
+            "rm2 avg %": float(np.mean(rm2)),
+            "rm2 max %": float(np.max(rm2)),
+            "rm1 avg %": float(np.mean(rm1)),
+        },
+        paper={"rm2 avg %": 6.0, "rm2 max %": 14.0, "rm1 avg %": 2.0},
+    )
+
+
+def e3_qos_violations(
+    ctx4: ExperimentContext | None = None, ctx8: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Paper I table: QoS violations of the realistic combined RMA."""
+    rows = []
+    summary: dict[str, float] = {}
+    for ncores, ctx in ((4, ctx4 or get_context(4)), (8, ctx8 or get_context(8))):
+        workloads = paper1_workloads(ncores)
+        matrix = ctx.run_matrix(workloads, [RM2])
+        violations = []
+        total_apps = 0
+        for wl in workloads:
+            cmp = matrix[(wl.name, RM2.name)]
+            total_apps += len(cmp.violations)
+            violations.extend(cmp.violation_values_pct())
+        stats = summarize(violations)
+        rows.append(
+            [f"{ncores}-core", len(violations), total_apps, stats.mean, stats.maximum]
+        )
+        summary[f"{ncores}-core violations"] = float(len(violations))
+        summary[f"{ncores}-core avg %"] = stats.mean
+        summary[f"{ncores}-core max %"] = stats.maximum
+    return ExperimentResult(
+        experiment_id="E3",
+        title="QoS violations under realistic models (Combined RMA)",
+        headers=["system", "violations", "apps", "avg violation %", "max violation %"],
+        rows=rows,
+        summary=summary,
+        paper={
+            "4-core violations": 13, "4-core avg %": 3.0, "4-core max %": 9.0,
+            "8-core violations": 15, "8-core avg %": 3.0, "8-core max %": 7.0,
+        },
+        notes=(
+            "Violations below 1% are negligible per the paper's criterion. "
+            "The tail violations are the constant-MLP (Model 2) anchor error "
+            "Paper II identifies; rerunning the violating workloads with the "
+            "MLP-ATD (Model 3) removes them entirely (see E14/E15)."
+        ),
+    )
+
+
+def e4_perfect_models(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Paper I figure: perfect (oracle) models vs realistic analytical models."""
+    ctx = ctx or get_context(4)
+    workloads = paper1_workloads(4)
+    matrix = ctx.run_matrix(workloads, [RM2, rm2_oracle()])
+    rows = []
+    real, perfect = [], []
+    for wl in workloads:
+        r = matrix[(wl.name, RM2.name)].savings_pct
+        p = matrix[(wl.name, "rm2-oracle")].savings_pct
+        rows.append([wl.name, wl.tag, r, p])
+        real.append(r)
+        perfect.append(p)
+    rows.append(["mean", "", float(np.mean(real)), float(np.mean(perfect))])
+    return ExperimentResult(
+        experiment_id="E4",
+        title="Energy savings: realistic vs perfect models (4-core)",
+        headers=["workload", "pattern", "realistic %", "perfect %"],
+        rows=rows,
+        summary={
+            "realistic avg %": float(np.mean(real)),
+            "perfect avg %": float(np.mean(perfect)),
+        },
+        paper={"realistic avg %": 6.0, "perfect avg %": 8.0},
+        notes="Perfect models bound the cost of analytical-model error.",
+    )
+
+
+def e5_relaxation_sweep(
+    ctx: ExperimentContext | None = None,
+    slacks: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8),
+) -> ExperimentResult:
+    """Paper I figure: energy savings vs QoS relaxation (perfect models)."""
+    ctx = ctx or get_context(4)
+    workloads = paper1_workloads(4)
+    rows = []
+    best_avg = 0.0
+    avg_at_040 = 0.0
+    max_at_040 = 0.0
+    for slack in slacks:
+        relaxed = [wl.with_slack(slack) for wl in workloads]
+        matrix = ctx.run_matrix(relaxed, [rm2_oracle()])
+        vals = [matrix[(wl.name, "rm2-oracle")].savings_pct for wl in relaxed]
+        avg, mx = float(np.mean(vals)), float(np.max(vals))
+        rows.append([f"{slack * 100:.0f}%", avg, mx])
+        best_avg = max(best_avg, avg)
+        if abs(slack - 0.4) < 1e-9:
+            avg_at_040, max_at_040 = avg, mx
+    return ExperimentResult(
+        experiment_id="E5",
+        title="Energy savings vs QoS relaxation (perfect models, 4-core)",
+        headers=["allowed slowdown", "avg savings %", "max savings %"],
+        rows=rows,
+        summary={"avg % @40% slack": avg_at_040, "max % @40% slack": max_at_040},
+        paper={"avg % @40% slack": 17.0, "max % @40% slack": 29.0},
+        notes="Savings saturate once memory-bound apps reach the bottom of the VF table.",
+    )
+
+
+def e6_partial_relaxation(
+    ctx: ExperimentContext | None = None, slack: float = 0.4
+) -> ExperimentResult:
+    """Paper I figure: relaxing the QoS target for subsets of the workload."""
+    ctx = ctx or get_context(4)
+    # a representative mixed workload: 2 memory-intensive CS + 2 compute apps
+    wl = next(w for w in paper1_workloads(4) if w.tag == "2MICS_2CPCI")
+    mi_mask = (slack, slack, 0.0, 0.0)
+    cp_mask = (0.0, 0.0, slack, slack)
+    scenarios = [
+        ("none relaxed", wl.with_slack(0.0)),
+        ("MI apps relaxed", wl.with_slack(mi_mask)),
+        ("CP apps relaxed", wl.with_slack(cp_mask)),
+        ("all relaxed", wl.with_slack(slack)),
+    ]
+    rows = []
+    values = {}
+    for name, w in scenarios:
+        cmp = ctx.compare(w, rm2_oracle())
+        rows.append([name, cmp.savings_pct, cmp.n_violations])
+        values[name] = cmp.savings_pct
+    return ExperimentResult(
+        experiment_id="E6",
+        title=f"Partial QoS relaxation ({slack * 100:.0f}% slack on subsets)",
+        headers=["scenario", "savings %", "violations"],
+        rows=rows,
+        summary={
+            "none %": values["none relaxed"],
+            "MI-only %": values["MI apps relaxed"],
+            "all %": values["all relaxed"],
+        },
+        paper={"none %": "baseline", "MI-only %": "between", "all %": "highest"},
+        notes="Relaxing memory-bound apps recovers most of the full-relaxation savings.",
+    )
+
+
+def e7_baseline_vf_sensitivity(
+    ctx: ExperimentContext | None = None,
+    anchors_ghz: tuple[float, ...] = (1.6, 2.0, 2.4),
+) -> ExperimentResult:
+    """Paper I figure: sensitivity of savings to the baseline VF choice."""
+    from dataclasses import replace
+
+    ctx = ctx or get_context(4)
+    workloads = paper1_workloads(4)[:10]
+    rows = []
+    values = []
+    for anchor in anchors_ghz:
+        system = replace(ctx.system, qos_baseline_ghz=anchor)
+        sub_ctx = ExperimentContext(system=system, db=ctx.db, max_slices=ctx.max_slices)
+        matrix = sub_ctx.run_matrix(workloads, [RM2])
+        vals = [matrix[(wl.name, RM2.name)].savings_pct for wl in workloads]
+        rows.append([f"{anchor:.1f} GHz", float(np.mean(vals)), float(np.max(vals))])
+        values.append(float(np.mean(vals)))
+    return ExperimentResult(
+        experiment_id="E7",
+        title="Sensitivity to the baseline VF anchor (4-core, RM2)",
+        headers=["baseline f0", "avg savings %", "max savings %"],
+        rows=rows,
+        summary={f"avg % @{a:.1f}GHz": v for a, v in zip(anchors_ghz, values)},
+        paper={"trend": "higher baseline VF leaves more headroom to save"},
+        notes="The QoS anchor moves; the platform (and database) are unchanged.",
+    )
+
+
+def e8_rma_overhead(ctx: ExperimentContext | None = None) -> ExperimentResult:
+    """Paper I table: RMA software overhead in executed instructions."""
+    ctx = ctx or get_context(4)
+    workloads = paper1_workloads(4)[:6]
+    per_inv = []
+    worst = 0.0
+    for wl in workloads:
+        run = ctx.run(wl, RM2)
+        per_inv.append(run.rma_instructions / max(run.rma_invocations, 1))
+        worst = max(worst, per_inv[-1])
+    mean_inv = float(np.mean(per_inv))
+    frac = mean_inv / ctx.system.interval_instructions * 100.0
+    rows = [
+        ["instructions / invocation (avg)", mean_inv],
+        ["instructions / invocation (max)", worst],
+        ["fraction of 100M-instr interval", f"{frac:.4f}%"],
+    ]
+    return ExperimentResult(
+        experiment_id="E8",
+        title="Overhead of the Combined RMA (instruction-equivalents)",
+        headers=["quantity", "value"],
+        rows=rows,
+        summary={"instr/invocation": mean_inv, "fraction %": frac},
+        paper={"instr/invocation": "< 40000", "fraction %": 0.04},
+        notes="Counted via the overhead meter: cost constants per model evaluation and DP cell.",
+    )

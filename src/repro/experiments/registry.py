@@ -1,0 +1,90 @@
+"""Experiment registry: id -> driver, with paper references.
+
+``EXPERIMENTS`` is the per-experiment index DESIGN.md documents: every table
+and figure of the two papers plus the ablations, each mapped to the driver
+that regenerates it and the benchmark module that wraps it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.experiments import ablations, paper1, paper2
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    experiment_id: str
+    paper: str            # "I", "II" or "ablation"
+    artefact: str         # which table/figure this regenerates
+    driver: Callable[..., ExperimentResult]
+    bench_module: str     # the pytest-benchmark wrapper
+
+    def run(self, **kwargs) -> ExperimentResult:
+        return self.driver(**kwargs)
+
+
+EXPERIMENTS: dict[str, ExperimentEntry] = {
+    e.experiment_id: e
+    for e in [
+        ExperimentEntry("E1", "I", "fig: energy savings, 4-core",
+                        paper1.e1_savings_4core, "benchmarks/bench_e1_savings_4core.py"),
+        ExperimentEntry("E2", "I", "fig: energy savings, 8-core",
+                        paper1.e2_savings_8core, "benchmarks/bench_e2_savings_8core.py"),
+        ExperimentEntry("E3", "I", "table: QoS violations",
+                        paper1.e3_qos_violations, "benchmarks/bench_e3_qos_violations.py"),
+        ExperimentEntry("E4", "I", "fig: perfect vs realistic models",
+                        paper1.e4_perfect_models, "benchmarks/bench_e4_perfect_models.py"),
+        ExperimentEntry("E5", "I", "fig: QoS relaxation sweep",
+                        paper1.e5_relaxation_sweep, "benchmarks/bench_e5_relaxation.py"),
+        ExperimentEntry("E6", "I", "fig: partial relaxation",
+                        paper1.e6_partial_relaxation, "benchmarks/bench_e6_partial_relaxation.py"),
+        ExperimentEntry("E7", "I", "fig: baseline-VF sensitivity",
+                        paper1.e7_baseline_vf_sensitivity, "benchmarks/bench_e7_baseline_vf.py"),
+        ExperimentEntry("E8", "I", "table: RMA overhead",
+                        paper1.e8_rma_overhead, "benchmarks/bench_e8_overhead.py"),
+        ExperimentEntry("E9", "II", "table: trade-off analysis (16 mixes)",
+                        paper2.e9_scenario_analysis, "benchmarks/bench_e9_scenarios.py"),
+        ExperimentEntry("E10", "II", "fig: scenario 1 savings",
+                        paper2.e10_scenario1, "benchmarks/bench_e10_scenario1.py"),
+        ExperimentEntry("E11", "II", "fig: scenario 2 savings",
+                        paper2.e11_scenario2, "benchmarks/bench_e11_scenario2.py"),
+        ExperimentEntry("E12", "II", "fig: scenario 3 savings",
+                        paper2.e12_scenario3, "benchmarks/bench_e12_scenario3.py"),
+        ExperimentEntry("E13", "II", "fig: scenario 4 savings",
+                        paper2.e13_scenario4, "benchmarks/bench_e13_scenario4.py"),
+        ExperimentEntry("E14", "II", "table: model accuracy",
+                        paper2.e14_model_accuracy, "benchmarks/bench_e14_model_accuracy.py"),
+        ExperimentEntry("E15", "II", "fig: savings by model",
+                        paper2.e15_savings_by_model, "benchmarks/bench_e15_savings_by_model.py"),
+        ExperimentEntry("E16", "II", "table: overhead scaling",
+                        paper2.e16_overhead_scaling, "benchmarks/bench_e16_overhead_scaling.py"),
+        ExperimentEntry("A1", "ablation", "DVFS-only under strict QoS",
+                        ablations.a1_dvfs_only, "benchmarks/bench_a1_dvfs_only.py"),
+        ExperimentEntry("A2", "ablation", "coordination vs independent control",
+                        ablations.a2_coordination_value, "benchmarks/bench_a2_coordination.py"),
+        ExperimentEntry("A3", "ablation", "ATD set-sampling sensitivity",
+                        ablations.a3_atd_sampling, "benchmarks/bench_a3_atd_sampling.py"),
+        ExperimentEntry("A4", "extension", "phase history + next-phase prediction",
+                        ablations.a4_phase_history, "benchmarks/bench_a4_phase_history.py"),
+        ExperimentEntry("A5", "extension", "scheduler co-location guidance",
+                        ablations.a5_colocation, "benchmarks/bench_a5_colocation.py"),
+    ]
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentEntry:
+    try:
+        return EXPERIMENTS[experiment_id.upper()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from exc
+
+
+def list_experiments() -> list[str]:
+    return list(EXPERIMENTS)

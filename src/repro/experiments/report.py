@@ -1,0 +1,66 @@
+"""Experiment result container and rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.tables import render_table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper artefact.
+
+    ``headers``/``rows`` are the table (or figure series) itself;
+    ``summary`` holds headline scalars; ``paper`` holds the values the paper
+    reports for the same quantities, so EXPERIMENTS.md can juxtapose them.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    summary: dict[str, float] = field(default_factory=dict)
+    paper: dict[str, float | str] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        out = [render_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")]
+        if self.summary:
+            out.append("")
+            out.append("measured: " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.summary.items()))
+        if self.paper:
+            out.append("paper:    " + ", ".join(f"{k}={_fmt(v)}" for k, v in self.paper.items()))
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+    def markdown(self) -> str:
+        """GitHub-flavoured markdown block for EXPERIMENTS.md."""
+        lines = [f"### {self.experiment_id} — {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+        if self.summary or self.paper:
+            lines.append("")
+            lines.append("| quantity | paper | measured |")
+            lines.append("|---|---|---|")
+            keys = list(self.summary) if self.summary else list(self.paper)
+            for k in keys:
+                p = _fmt(self.paper.get(k, "—"))
+                m = _fmt(self.summary.get(k, "—"))
+                lines.append(f"| {k} | {p} | {m} |")
+        if self.notes:
+            lines.append("")
+            lines.append(f"*{self.notes}*")
+        lines.append("")
+        return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.2f}"
+    return str(v)

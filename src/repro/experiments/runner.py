@@ -1,0 +1,195 @@
+"""Shared experiment machinery: databases, baselines and batched runs.
+
+An :class:`ExperimentContext` owns the simulation database for a system size
+and memoises baseline runs (the paper's framework reuses one database for all
+experiments).  ``run_matrix`` fans (workload x manager) runs out over worker
+processes; results are deterministic regardless of the process count.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig, default_system
+from repro.core.managers import (
+    CoordinatedManager,
+    StaticBaselineManager,
+)
+from repro.simulation.database import SimulationDatabase, build_database
+from repro.simulation.metrics import RunResult, WorkloadComparison, compare_runs
+from repro.simulation.rma_sim import simulate_workload
+from repro.util.parallel import parallel_map
+from repro.workloads.mixes import Workload
+
+__all__ = ["ExperimentContext", "get_context", "ManagerSpec", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".sim_cache")
+
+#: Experiment fidelity knobs; EXPERIMENTS.md records the values used.
+ACCESSES_PER_SET = int(os.environ.get("REPRO_ACCESSES_PER_SET", "600"))
+MAX_SLICES_ENV = os.environ.get("REPRO_MAX_SLICES", "")
+MAX_SLICES: int | None = int(MAX_SLICES_ENV) if MAX_SLICES_ENV else None
+
+
+@dataclass(frozen=True)
+class ManagerSpec:
+    """Picklable description of a manager (factories are reconstructed in
+    worker processes)."""
+
+    kind: str                 # "baseline" | "coordinated" | "independent"
+    name: str = ""
+    control_dvfs: bool = True
+    control_core_size: bool = False
+    control_partitioning: bool = True
+    mlp_model: str = "model2"
+    oracle: bool = False
+
+    def build(self):
+        if self.kind == "baseline":
+            return StaticBaselineManager()
+        if self.kind == "independent":
+            from repro.core.managers import IndependentManager
+
+            return IndependentManager(mlp_model=self.mlp_model)
+        if self.kind == "history":
+            from repro.core.history import HistoryAwareManager
+
+            return HistoryAwareManager(
+                name=self.name or "rm2-history",
+                control_core_size=self.control_core_size,
+                mlp_model=self.mlp_model,
+            )
+        return CoordinatedManager(
+            name=self.name,
+            control_dvfs=self.control_dvfs,
+            control_core_size=self.control_core_size,
+            control_partitioning=self.control_partitioning,
+            mlp_model=self.mlp_model,
+            oracle=self.oracle,
+        )
+
+
+BASELINE = ManagerSpec(kind="baseline", name="baseline")
+RM1 = ManagerSpec(kind="coordinated", name="rm1-partitioning", control_dvfs=False)
+RM2 = ManagerSpec(kind="coordinated", name="rm2-combined")
+RM3 = ManagerSpec(
+    kind="coordinated", name="rm3-core-adaptive", control_core_size=True, mlp_model="model3"
+)
+DVFS_ONLY = ManagerSpec(kind="coordinated", name="dvfs-only", control_partitioning=False)
+
+
+def rm2_oracle() -> ManagerSpec:
+    return ManagerSpec(kind="coordinated", name="rm2-oracle", oracle=True)
+
+
+def rm3_with_model(model: str) -> ManagerSpec:
+    return ManagerSpec(
+        kind="coordinated",
+        name=f"rm3-{model}",
+        control_core_size=True,
+        mlp_model=model,
+    )
+
+
+# Worker-process context (inherited over fork; rebuilt lazily under spawn).
+_WORKER: dict = {}
+
+
+def _run_one(task: tuple) -> RunResult:
+    workload, spec, max_slices = task
+    ctx: ExperimentContext = _WORKER["ctx"]
+    return simulate_workload(
+        ctx.system, ctx.db, workload, spec.build(), max_slices=max_slices
+    )
+
+
+@dataclass
+class ExperimentContext:
+    """Database + memoised baseline runs for one system size."""
+
+    system: SystemConfig
+    db: SimulationDatabase
+    max_slices: int | None = MAX_SLICES
+    _baselines: dict[str, RunResult] = field(default_factory=dict)
+
+    def baseline_run(self, workload: Workload) -> RunResult:
+        key = workload.name + "/" + ",".join(workload.apps)
+        if key not in self._baselines:
+            self._baselines[key] = simulate_workload(
+                self.system, self.db, workload, StaticBaselineManager(),
+                max_slices=self.max_slices,
+            )
+        return self._baselines[key]
+
+    def run(self, workload: Workload, spec: ManagerSpec) -> RunResult:
+        return simulate_workload(
+            self.system, self.db, workload, spec.build(), max_slices=self.max_slices
+        )
+
+    def compare(self, workload: Workload, spec: ManagerSpec) -> WorkloadComparison:
+        return compare_runs(self.baseline_run(workload), self.run(workload, spec))
+
+    def run_many(
+        self,
+        workloads: list[Workload],
+        spec: ManagerSpec,
+        processes: int | None = None,
+    ) -> list[RunResult]:
+        """Run one manager over many workloads in parallel (raw results)."""
+        _WORKER["ctx"] = self
+        tasks = [(wl, spec, self.max_slices) for wl in workloads]
+        return parallel_map(_run_one, tasks, processes=processes)
+
+    def run_matrix(
+        self,
+        workloads: list[Workload],
+        specs: list[ManagerSpec],
+        processes: int | None = None,
+    ) -> dict[tuple[str, str], WorkloadComparison]:
+        """Run every (workload, manager) pair, plus baselines, in parallel.
+
+        Returns ``{(workload name, manager name): comparison}``.
+        """
+        _WORKER["ctx"] = self
+        tasks = [(wl, BASELINE, self.max_slices) for wl in workloads]
+        tasks += [(wl, spec, self.max_slices) for wl in workloads for spec in specs]
+        results = parallel_map(_run_one, tasks, processes=processes)
+
+        by_wl: dict[str, RunResult] = {}
+        for (wl, spec, _), run in zip(tasks, results):
+            if spec.kind == "baseline":
+                by_wl[wl.name] = run
+                self._baselines.setdefault(
+                    wl.name + "/" + ",".join(wl.apps), run
+                )
+        out: dict[tuple[str, str], WorkloadComparison] = {}
+        for (wl, spec, _), run in zip(tasks, results):
+            if spec.kind == "baseline":
+                continue
+            out[(wl.name, spec.name)] = compare_runs(by_wl[wl.name], run)
+        return out
+
+
+_CONTEXTS: dict[int, ExperimentContext] = {}
+
+
+def get_context(
+    ncores: int = 4,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+    names: list[str] | None = None,
+) -> ExperimentContext:
+    """Build (or reuse) the experiment context for an ``ncores`` system."""
+    if ncores in _CONTEXTS and names is None:
+        return _CONTEXTS[ncores]
+    system = default_system(ncores)
+    db = build_database(
+        system,
+        names=names,
+        accesses_per_set=ACCESSES_PER_SET,
+        cache_dir=cache_dir,
+    )
+    ctx = ExperimentContext(system=system, db=db)
+    if names is None:
+        _CONTEXTS[ncores] = ctx
+    return ctx

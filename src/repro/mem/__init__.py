@@ -1,0 +1,12 @@
+"""Memory substrate: DRAM latency/bandwidth model and miss-overlap (MLP)."""
+
+from repro.mem.dram import effective_latency_ns, demanded_bandwidth_gbps
+from repro.mem.mlp import leading_miss_groups, mlp_of_misses, mlp_grid
+
+__all__ = [
+    "effective_latency_ns",
+    "demanded_bandwidth_gbps",
+    "leading_miss_groups",
+    "mlp_of_misses",
+    "mlp_grid",
+]

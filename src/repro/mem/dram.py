@@ -1,0 +1,43 @@
+"""DRAM timing: fixed service latency plus bandwidth-driven queueing.
+
+The thesis assumes the memory controller "equally partitions the available
+bandwidth among the cores", so each core owns a private share and its
+effective latency depends only on its *own* utilisation of that share:
+
+``L_eff = L * (1 + q * U^2)``, ``U = min(demanded_bw / share, U_CAP)``.
+
+The quadratic term is a standard M/D/1-flavoured congestion approximation;
+the cap keeps the fixed-point iteration in the timing model stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import MemoryConfig
+
+__all__ = ["demanded_bandwidth_gbps", "effective_latency_ns", "U_CAP"]
+
+#: Utilisation cap: past this point a real controller would throttle requests.
+U_CAP = 0.97
+
+
+def demanded_bandwidth_gbps(mpi: np.ndarray, tpi_ns: np.ndarray, line_bytes: int) -> np.ndarray:
+    """Bandwidth demanded by a core: bytes per instruction over time per instruction.
+
+    ``mpi`` (misses/instruction) and ``tpi_ns`` broadcast; bytes/ns == GB/s.
+    """
+    return mpi * line_bytes / np.maximum(tpi_ns, 1e-9)
+
+
+def effective_latency_ns(
+    mem: MemoryConfig,
+    per_core_share_gbps: float,
+    mpi: np.ndarray,
+    tpi_ns: np.ndarray,
+    line_bytes: int,
+) -> np.ndarray:
+    """Effective per-miss latency given the core's own bandwidth pressure."""
+    bw = demanded_bandwidth_gbps(mpi, tpi_ns, line_bytes)
+    u = np.minimum(bw / per_core_share_gbps, U_CAP)
+    return mem.latency_ns * (1.0 + mem.queue_coeff * u * u)

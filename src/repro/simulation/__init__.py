@@ -1,0 +1,34 @@
+"""The paper's multi-level simulation framework (thesis Chapter 2).
+
+Pipeline: benchmarks -> SimPoint phase analysis -> detailed per-phase
+simulation into a results database -> event-driven RMA simulation of full
+multi-programmed executions.
+"""
+
+from repro.simulation.database import PhaseRecord, SimulationDatabase, build_database
+from repro.simulation.detailed import simulate_phase, analyze_benchmark
+from repro.simulation.overheads import transition_cost
+from repro.simulation.metrics import (
+    AppResult,
+    RunResult,
+    WorkloadComparison,
+    compare_runs,
+    energy_savings_pct,
+)
+from repro.simulation.rma_sim import RMASimulator, simulate_workload
+
+__all__ = [
+    "PhaseRecord",
+    "SimulationDatabase",
+    "build_database",
+    "simulate_phase",
+    "analyze_benchmark",
+    "transition_cost",
+    "AppResult",
+    "RunResult",
+    "WorkloadComparison",
+    "compare_runs",
+    "energy_savings_pct",
+    "RMASimulator",
+    "simulate_workload",
+]

@@ -1,0 +1,169 @@
+"""Result accounting: energy, execution time, QoS violations.
+
+The paper's metrics:
+
+* **system energy savings** -- relative to the static-baseline run of the
+  same workload (all apps at the baseline allocation);
+* **QoS violation** -- an app's full execution taking longer than its
+  (slack-adjusted) baseline execution, with violations below 1 % considered
+  negligible;
+* **interval-level violation statistics** (Paper II's model-accuracy
+  analysis) -- probability / expected value / standard deviation of
+  per-interval slowdowns versus the baseline interval time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = [
+    "AppResult",
+    "RunResult",
+    "WorkloadComparison",
+    "compare_runs",
+    "energy_savings_pct",
+    "interval_violation_stats",
+    "NEGLIGIBLE_VIOLATION",
+]
+
+#: "Values below 1% are considered negligible" (thesis, §3.1).
+NEGLIGIBLE_VIOLATION = 0.01
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """One application's first full execution round under a policy."""
+
+    app: str
+    core: int
+    time_ns: float
+    energy_nj: float
+    intervals: int
+    slack: float = 0.0
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Per-interval record for the model-accuracy analysis (E14)."""
+
+    core: int
+    phase_key: int
+    duration_ns: float
+    baseline_ns: float
+    slack: float
+
+
+@dataclass
+class RunResult:
+    """Complete outcome of one workload under one resource manager."""
+
+    workload: str
+    manager: str
+    apps: list[AppResult]
+    interval_samples: list[IntervalSample] = field(default_factory=list)
+    rma_invocations: int = 0
+    rma_instructions: float = 0.0
+    sim_wall_s: float = 0.0
+
+    @property
+    def total_energy_nj(self) -> float:
+        return float(sum(a.energy_nj for a in self.apps))
+
+    @property
+    def max_time_ns(self) -> float:
+        return float(max(a.time_ns for a in self.apps))
+
+    def app_times(self) -> dict[str, float]:
+        return {f"{a.core}:{a.app}": a.time_ns for a in self.apps}
+
+
+@dataclass(frozen=True)
+class AppViolation:
+    """QoS outcome of one app: positive ``violation_pct`` = QoS missed."""
+
+    app: str
+    core: int
+    slowdown_pct: float      # time vs baseline, minus allowed slack
+    violated: bool
+
+
+@dataclass(frozen=True)
+class WorkloadComparison:
+    """A policy run scored against its static-baseline run."""
+
+    workload: str
+    manager: str
+    savings_pct: float
+    violations: tuple[AppViolation, ...]
+
+    @property
+    def n_violations(self) -> int:
+        return sum(1 for v in self.violations if v.violated)
+
+    def violation_values_pct(self) -> list[float]:
+        return [v.slowdown_pct for v in self.violations if v.violated]
+
+
+def energy_savings_pct(baseline: RunResult, policy: RunResult) -> float:
+    """System energy saved by ``policy`` relative to ``baseline`` (percent)."""
+    base = baseline.total_energy_nj
+    require(base > 0, "baseline energy must be positive")
+    return (1.0 - policy.total_energy_nj / base) * 100.0
+
+
+def compare_runs(baseline: RunResult, policy: RunResult) -> WorkloadComparison:
+    """Score a policy run: savings plus per-app QoS outcomes."""
+    require(baseline.workload == policy.workload, "runs are for different workloads")
+    base_by_core = {a.core: a for a in baseline.apps}
+    violations = []
+    for a in policy.apps:
+        b = base_by_core[a.core]
+        require(b.app == a.app, "core/app assignment differs between runs")
+        allowed = (1.0 + a.slack)
+        slowdown = (a.time_ns / b.time_ns - allowed) * 100.0
+        violations.append(
+            AppViolation(
+                app=a.app,
+                core=a.core,
+                slowdown_pct=slowdown,
+                violated=slowdown > NEGLIGIBLE_VIOLATION * 100.0,
+            )
+        )
+    return WorkloadComparison(
+        workload=policy.workload,
+        manager=policy.manager,
+        savings_pct=energy_savings_pct(baseline, policy),
+        violations=tuple(violations),
+    )
+
+
+def interval_violation_stats(samples: list[IntervalSample]) -> dict[str, float]:
+    """Paper II's per-interval violation statistics.
+
+    Returns probability of violation, expected violation value (over
+    violating intervals), and standard deviation of violation values, all in
+    percent.  A violation is an interval slower than its slack-adjusted
+    baseline by more than the negligible threshold.
+    """
+    if not samples:
+        return {"probability": 0.0, "expected_value": 0.0, "std": 0.0, "n": 0}
+    over = []
+    nviol = 0
+    for s in samples:
+        allowed = s.baseline_ns * (1.0 + s.slack)
+        excess = (s.duration_ns / allowed - 1.0) * 100.0
+        if excess > NEGLIGIBLE_VIOLATION * 100.0:
+            nviol += 1
+            over.append(excess)
+    prob = nviol / len(samples) * 100.0
+    vals = np.array(over, dtype=float)
+    return {
+        "probability": prob,
+        "expected_value": float(vals.mean()) if len(vals) else 0.0,
+        "std": float(vals.std()) if len(vals) else 0.0,
+        "n": len(samples),
+    }

@@ -1,0 +1,18 @@
+"""Shared utilities: deterministic RNG discipline, statistics, tables, parallel map."""
+
+from repro.util.rng import rng_for, seed_for
+from repro.util.stats import geo_mean, summarize, weighted_mean
+from repro.util.tables import render_table
+from repro.util.parallel import parallel_map
+from repro.util.validation import require
+
+__all__ = [
+    "rng_for",
+    "seed_for",
+    "geo_mean",
+    "weighted_mean",
+    "summarize",
+    "render_table",
+    "parallel_map",
+    "require",
+]

@@ -1,0 +1,47 @@
+"""Terminal line/bar rendering for figure-type experiment artefacts.
+
+The papers' evaluations are mostly figures (savings per workload, savings vs
+relaxation).  The benchmark harness regenerates them as tables; this module
+adds a terminal bar rendering so the *shape* of a figure -- who wins, where
+it saturates -- is visible at a glance in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.validation import require
+
+__all__ = ["bar_chart", "spark_line"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "%",
+) -> str:
+    """Horizontal bar chart; negative values render a left-marked bar."""
+    require(len(labels) == len(values), "labels/values length mismatch")
+    if not values:
+        return "(empty)"
+    span = max(max(abs(v) for v in values), 1e-9)
+    label_w = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        n = int(round(abs(value) / span * width))
+        bar = ("▇" * n) if value >= 0 else ("▁" * n)
+        sign = "" if value >= 0 else "-"
+        lines.append(f"{label.rjust(label_w)} |{bar.ljust(width)} {sign}{abs(value):.2f}{unit}")
+    return "\n".join(lines)
+
+
+def spark_line(values: Sequence[float]) -> str:
+    """One-line sparkline of a numeric series."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-9)
+    return "".join(_TICKS[int((v - lo) / span * (len(_TICKS) - 1))] for v in values)

@@ -1,0 +1,53 @@
+"""Process-parallel map with a serial fallback.
+
+The simulation-results database (the "Sniper + McPAT" step of the paper's
+framework, Chapter 2 of the thesis) consists of fully independent per-phase
+simulations -- the paper notes they "can be executed in parallel in a short
+time".  We exploit exactly that structure with a :class:`multiprocessing.Pool`
+fan-out; the worker function and items must be picklable.
+
+Set ``REPRO_PROCESSES=1`` (or pass ``processes=1``) to force serial execution,
+which is used by the test-suite for determinism of coverage and tracebacks.
+The results are identical either way because all randomness is derived from
+stable per-item seeds (:mod:`repro.util.rng`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["parallel_map", "default_processes"]
+
+
+def default_processes() -> int:
+    """Worker count: ``REPRO_PROCESSES`` env var, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_PROCESSES")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    processes: int | None = None,
+    chunksize: int = 1,
+) -> list[R]:
+    """Map ``fn`` over ``items``, preserving order.
+
+    Falls back to a plain comprehension when only one worker is requested or
+    there are fewer than two items, so small inputs never pay fork overhead.
+    """
+    seq: Sequence[T] = list(items)
+    nproc = default_processes() if processes is None else max(1, processes)
+    nproc = min(nproc, len(seq)) if seq else 1
+    if nproc <= 1 or len(seq) < 2:
+        return [fn(item) for item in seq]
+    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
+    with ctx.Pool(processes=nproc) as pool:
+        return pool.map(fn, seq, chunksize=chunksize)

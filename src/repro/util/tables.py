@@ -1,0 +1,65 @@
+"""ASCII table rendering for experiment reports.
+
+Every experiment driver ends by printing a table whose rows correspond to the
+rows/series of the paper's table or figure; the benchmarks under
+``benchmarks/`` call the same renderer so ``pytest benchmarks/`` regenerates
+the paper artefacts verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, floatfmt: str = "{:.2f}") -> str:
+    """Format a single cell; floats use ``floatfmt``, percents pre-formatted."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return floatfmt.format(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    floatfmt: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; cells may be any type.
+    title:
+        Optional title printed above the table.
+    floatfmt:
+        ``str.format`` spec applied to float cells.
+    """
+    str_rows = [[format_cell(c, floatfmt) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Lightweight precondition helpers.
+
+These raise early, with messages naming the offending argument, instead of
+letting bad configurations surface as NaNs deep inside the optimizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["require", "require_prob", "require_positive", "require_monotone"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_prob(value: float, name: str) -> None:
+    """Validate that ``value`` is a probability in [0, 1]."""
+    require(0.0 <= value <= 1.0, f"{name} must be in [0, 1], got {value}")
+
+
+def require_positive(value: float, name: str) -> None:
+    """Validate that ``value`` is strictly positive."""
+    require(value > 0, f"{name} must be > 0, got {value}")
+
+
+def require_monotone(arr, name: str, increasing: bool = False) -> None:
+    """Validate that ``arr`` is monotone (non-increasing by default)."""
+    a = np.asarray(arr, dtype=float)
+    diffs = np.diff(a)
+    ok = np.all(diffs >= -1e-12) if increasing else np.all(diffs <= 1e-12)
+    direction = "non-decreasing" if increasing else "non-increasing"
+    require(bool(ok), f"{name} must be {direction}")

@@ -1,0 +1,46 @@
+"""Benchmark substrate: synthetic SPEC-like programs, phases and workloads.
+
+This package replaces the paper's SPEC CPU2006 Pinballs with generative
+benchmark models whose observable behaviour (cache-miss curves, MLP, ILP,
+memory intensity) spans the category grids that drive every result in the
+paper.  See DESIGN.md section 2 for the substitution rationale.
+"""
+
+from repro.workloads.phases import PhaseSpec, PhaseTrace, SliceFeatures
+from repro.workloads.benchmarks import (
+    Benchmark,
+    BENCHMARKS,
+    benchmark_names,
+    get_benchmark,
+)
+from repro.workloads.simpoint import SimPointResult, run_simpoint
+from repro.workloads.classification import (
+    AppCategories,
+    classify_paper1,
+    classify_paper2,
+)
+from repro.workloads.mixes import (
+    Workload,
+    paper1_workloads,
+    paper2_workloads,
+    scenario_of_mix,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "PhaseTrace",
+    "SliceFeatures",
+    "Benchmark",
+    "BENCHMARKS",
+    "benchmark_names",
+    "get_benchmark",
+    "SimPointResult",
+    "run_simpoint",
+    "AppCategories",
+    "classify_paper1",
+    "classify_paper2",
+    "Workload",
+    "paper1_workloads",
+    "paper2_workloads",
+    "scenario_of_mix",
+]

@@ -1,0 +1,148 @@
+"""Synthetic address-trace generation for a phase's representative slice.
+
+The detailed-simulation step of the paper characterises each phase by running
+its representative 100 M-instruction slice through Sniper.  Our substitute
+generates, from the :class:`~repro.workloads.phases.PhaseSpec`, the stream of
+LLC accesses that slice would issue:
+
+* a cache **set** per access (uniform over the modelled sets),
+* a **line** id drawn from the phase's working-set mixture (or a fresh,
+  never-reused line for the streaming fraction),
+* the **instruction position** of the access (exponential gaps with mean
+  ``1000 / apki``),
+* a **dependence-chain** id -- misses on the same chain serialise, misses on
+  different chains may overlap (this is what the MLP-aware ATD of Paper II
+  measures).
+
+Everything is vectorised and deterministic given the seed parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import rng_for
+from repro.util.validation import require
+from repro.workloads.phases import PhaseSpec
+
+__all__ = ["AccessTrace", "generate_trace", "STREAM_BASE"]
+
+#: Line ids at or above this value are unique streaming lines (never reused).
+STREAM_BASE = 1 << 40
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """LLC access stream of one representative slice (column arrays)."""
+
+    set_ids: np.ndarray      # (n,) int32 -- model set index
+    line_ids: np.ndarray     # (n,) int64 -- line id, namespaced per set
+    instr_pos: np.ndarray    # (n,) float64 -- committed-instruction position
+    chain_ids: np.ndarray    # (n,) int64 -- dependence-chain id
+    instructions: float      # instructions represented by the slice sample
+
+    def __post_init__(self) -> None:
+        n = len(self.set_ids)
+        require(
+            len(self.line_ids) == n and len(self.instr_pos) == n and len(self.chain_ids) == n,
+            "trace columns must have equal length",
+        )
+
+    @property
+    def n_accesses(self) -> int:
+        return int(len(self.set_ids))
+
+    def restrict_to_sets(self, nsets: int) -> "AccessTrace":
+        """Sub-trace touching sets ``0..nsets-1`` (ATD set sampling).
+
+        The instruction span is preserved so rates (APKI, MPKI) computed from
+        the sub-trace estimate the full-trace rates after scaling by the
+        sampled-set fraction -- exactly how sampled ATD hardware extrapolates.
+        """
+        mask = self.set_ids < nsets
+        return AccessTrace(
+            set_ids=self.set_ids[mask],
+            line_ids=self.line_ids[mask],
+            instr_pos=self.instr_pos[mask],
+            chain_ids=self.chain_ids[mask],
+            instructions=self.instructions,
+        )
+
+
+def generate_trace(
+    spec: PhaseSpec,
+    nsets: int,
+    accesses_per_set: int = 1200,
+    seed_parts: tuple = (),
+) -> AccessTrace:
+    """Synthesise the representative-slice access trace for ``spec``.
+
+    Parameters
+    ----------
+    spec:
+        The phase's generative model.
+    nsets:
+        Number of cache sets modelled (``LLCGeometry.model_sets``).
+    accesses_per_set:
+        Average trace density; total accesses ``= nsets * accesses_per_set``.
+    seed_parts:
+        Extra seed components (benchmark name, phase id) for determinism.
+    """
+    rng = rng_for("trace", *seed_parts, spec.phase_id)
+    n = int(nsets * accesses_per_set)
+    require(n >= 1, "trace must contain at least one access")
+
+    set_ids = rng.integers(0, nsets, size=n, dtype=np.int32)
+
+    # --- line ids from the working-set mixture -----------------------------
+    sizes = np.array([s for s, _ in spec.working_sets], dtype=np.int64)
+    probs = np.array([p for _, p in spec.working_sets], dtype=float)
+    probs = probs * (1.0 - spec.streaming_frac)
+    pool_probs = np.append(probs, spec.streaming_frac)
+    pool_choice = rng.choice(len(pool_probs), size=n, p=pool_probs / pool_probs.sum())
+    offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+
+    line_ids = np.empty(n, dtype=np.int64)
+    for k, size in enumerate(sizes):
+        mask = pool_choice == k
+        cnt = int(mask.sum())
+        if cnt:
+            line_ids[mask] = offsets[k] + rng.integers(0, size, size=cnt)
+    stream_mask = pool_choice == len(sizes)
+    n_stream = int(stream_mask.sum())
+    if n_stream:
+        # Each streaming access touches a fresh line: ids are unique.
+        line_ids[stream_mask] = STREAM_BASE + np.arange(n_stream, dtype=np.int64)
+
+    # --- instruction positions ---------------------------------------------
+    # Two-state (bursty) gap process: memory accesses cluster into dense
+    # bursts separated by long compute stretches, as in real programs.  The
+    # factors keep the overall mean at ``1000 / apki`` while concentrating
+    # misses in time -- which is what lets late (deep) misses still overlap
+    # inside the ROB window even when the overall miss rate is low.
+    mean_gap = 1000.0 / spec.apki
+    burst = rng.random(n) < 0.8
+    state = np.where(burst, 0.3, 3.8)
+    gaps = rng.exponential(mean_gap, size=n) * state + 1.0
+    instr_pos = np.cumsum(gaps)
+    instructions = float(instr_pos[-1])
+
+    # --- dependence chains ---------------------------------------------------
+    # Pool accesses follow the phase's dependence structure; streaming
+    # accesses (scans) carry no data dependence and always start a new chain.
+    # This matters for the MLP-vs-ways profile: the deep misses that survive
+    # a large allocation are streaming-dominated and therefore *more*
+    # parallel, as in real scan-heavy applications.
+    breaks = (rng.random(n) < spec.chain_break_prob) | stream_mask
+    breaks[0] = True
+    chain_ids = np.cumsum(breaks).astype(np.int64) - 1
+
+    return AccessTrace(
+        set_ids=set_ids,
+        line_ids=line_ids,
+        instr_pos=instr_pos,
+        chain_ids=chain_ids,
+        instructions=instructions,
+    )

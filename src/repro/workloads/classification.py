@@ -1,0 +1,104 @@
+"""Application classification per the paper's criteria.
+
+Paper I categorises SPEC CPU2006 by *memory intensity* (baseline MPKI above a
+threshold) and *cache sensitivity* (MPKI variation across allocations around
+the baseline above a threshold).  Paper II replaces memory intensity with
+*parallelism sensitivity* (MLP variation across core sizes above a
+threshold).  These functions apply the same criteria to measured behaviour
+(weighted per-benchmark curves from the simulation database), so the
+catalogue's intended categories are validated rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = [
+    "AppCategories",
+    "classify_paper1",
+    "classify_paper2",
+    "MPKI_THRESHOLD",
+    "CACHE_SENSITIVITY_THRESHOLD",
+    "MLP_SENSITIVITY_THRESHOLD",
+]
+
+#: Baseline-allocation MPKI above which an app is memory-intensive.
+MPKI_THRESHOLD = 8.0
+
+#: MPKI swing (half to double the baseline ways) above which an app is
+#: cache-sensitive.
+CACHE_SENSITIVITY_THRESHOLD = 2.0
+
+#: Relative MLP swing (smallest to largest core) above which an app is
+#: parallelism-sensitive.
+MLP_SENSITIVITY_THRESHOLD = 0.20
+
+
+@dataclass(frozen=True)
+class AppCategories:
+    """Derived categories of one application."""
+
+    memory_intensive: bool
+    cache_sensitive: bool
+    parallelism_sensitive: bool
+
+    @property
+    def paper1_category(self) -> str:
+        a = "MI" if self.memory_intensive else "CP"
+        b = "CS" if self.cache_sensitive else "CI"
+        return f"{a}-{b}"
+
+    @property
+    def paper2_type(self) -> str:
+        if self.cache_sensitive:
+            return "A" if self.parallelism_sensitive else "B"
+        return "C" if self.parallelism_sensitive else "D"
+
+
+def classify_paper1(
+    mpki_curve: np.ndarray,
+    baseline_ways: int,
+    mpki_threshold: float = MPKI_THRESHOLD,
+    sensitivity_threshold: float = CACHE_SENSITIVITY_THRESHOLD,
+) -> tuple[bool, bool]:
+    """(memory_intensive, cache_sensitive) from a weighted MPKI curve."""
+    require(1 <= baseline_ways <= len(mpki_curve), "baseline ways out of range")
+    mi = float(mpki_curve[baseline_ways - 1]) > mpki_threshold
+    lo = max(1, baseline_ways // 2)
+    hi = min(len(mpki_curve), baseline_ways * 2)
+    swing = float(mpki_curve[lo - 1] - mpki_curve[hi - 1])
+    cs = swing > sensitivity_threshold
+    return mi, cs
+
+
+def classify_paper2(
+    mpki_curve: np.ndarray,
+    mlp_grid: np.ndarray,
+    baseline_ways: int,
+    sensitivity_threshold: float = CACHE_SENSITIVITY_THRESHOLD,
+    mlp_threshold: float = MLP_SENSITIVITY_THRESHOLD,
+) -> tuple[bool, bool]:
+    """(cache_sensitive, parallelism_sensitive) per Paper II's criteria.
+
+    ``mlp_grid`` is ``MLP[core_size, ways]``; parallelism sensitivity is the
+    relative MLP change from the smallest to the largest core size at the
+    baseline allocation.
+    """
+    _, cs = classify_paper1(mpki_curve, baseline_ways, sensitivity_threshold=sensitivity_threshold)
+    base_col = mlp_grid[:, baseline_ways - 1]
+    small, large = float(base_col[0]), float(base_col[-1])
+    ps = (large - small) / max(small, 1e-9) > mlp_threshold
+    return cs, ps
+
+
+def categories_from_curves(
+    mpki_curve: np.ndarray, mlp_grid: np.ndarray, baseline_ways: int
+) -> AppCategories:
+    """Full :class:`AppCategories` from measured curves."""
+    mi, cs = classify_paper1(mpki_curve, baseline_ways)
+    _, ps = classify_paper2(mpki_curve, mlp_grid, baseline_ways)
+    return AppCategories(memory_intensive=mi, cache_sensitive=cs, parallelism_sensitive=ps)

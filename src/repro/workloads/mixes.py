@@ -1,0 +1,185 @@
+"""Workload mixes: the multi-programmed workloads of both papers' evaluations.
+
+Paper I builds "several 4-core and 8-core workloads ... based on different
+combinations of these categories" (MI/CP x CS/CI): we generate 20 four-core
+and 10 eight-core workloads from fixed category patterns with deterministic
+benchmark draws, matching the paper's 80-app totals (20*4 and 10*8).
+
+Paper II analyses "all possible combinations of application categories": the
+16 ordered pairs of the four types A..D, grouped into the paper's four
+scenarios.  ``scenario_of_mix`` encodes the grouping logic:
+
+* Scenario 1 -- a cache-sensitive app *and* a parallelism-sensitive app are
+  present: cache trades work (RM2) and core reconfiguration adds a lot (RM3).
+* Scenario 2 -- cache-sensitive apps but no parallelism-sensitive ones: RM2
+  and RM3 perform similarly.
+* Scenario 3 -- no cache sensitivity but parallelism-sensitive apps: only RM3
+  (core resizing at reduced VF) can save energy.
+* Scenario 4 -- neither: no RMA is effective.
+
+This yields RM3 substantially ahead in the 12 of 16 mixes containing an A- or
+C-type app, matching the paper's count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import rng_for
+from repro.util.validation import require
+from repro.workloads.benchmarks import benchmark_names
+
+__all__ = [
+    "Workload",
+    "paper1_workloads",
+    "paper2_workloads",
+    "paper2_mixes",
+    "scenario_of_mix",
+    "PAPER1_PATTERNS_4CORE",
+    "PAPER1_PATTERNS_8CORE",
+]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A multi-programmed workload: one benchmark per core.
+
+    ``slack`` is the per-app QoS relaxation (0.0 = strict baseline QoS); the
+    relaxation experiments (E5/E6) override it.
+    """
+
+    name: str
+    apps: tuple[str, ...]
+    slack: tuple[float, ...] = field(default=())
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        require(len(self.apps) >= 1, "workload needs at least one app")
+        if not self.slack:
+            object.__setattr__(self, "slack", tuple(0.0 for _ in self.apps))
+        require(len(self.slack) == len(self.apps), "slack/apps length mismatch")
+
+    @property
+    def ncores(self) -> int:
+        return len(self.apps)
+
+    def with_slack(self, slack: float | tuple[float, ...]) -> "Workload":
+        if isinstance(slack, (int, float)):
+            slack = tuple(float(slack) for _ in self.apps)
+        return Workload(name=self.name, apps=self.apps, slack=tuple(slack), tag=self.tag)
+
+
+# Category patterns: (pattern name, [category] * ncores). Two instances are
+# drawn per pattern with different benchmark picks.
+PAPER1_PATTERNS_4CORE = [
+    ("4xMICS", ["MI-CS"] * 4),
+    ("2MICS_2MICI", ["MI-CS", "MI-CS", "MI-CI", "MI-CI"]),
+    ("2MICS_2CPCI", ["MI-CS", "MI-CS", "CP-CI", "CP-CI"]),
+    ("2MICS_2CPCS", ["MI-CS", "MI-CS", "CP-CS", "CP-CS"]),
+    ("1MICS_3CPCI", ["MI-CS", "CP-CI", "CP-CI", "CP-CI"]),
+    ("2MICI_2CPCI", ["MI-CI", "MI-CI", "CP-CI", "CP-CI"]),
+    ("4xMICI", ["MI-CI"] * 4),
+    ("2CPCS_2CPCI", ["CP-CS", "CP-CS", "CP-CI", "CP-CI"]),
+    ("4xCPCS", ["CP-CS"] * 4),
+    ("4xCPCI", ["CP-CI"] * 4),
+]
+
+PAPER1_PATTERNS_8CORE = [
+    ("8xMICS", ["MI-CS"] * 8),
+    ("4MICS_4MICI", ["MI-CS"] * 4 + ["MI-CI"] * 4),
+    ("4MICS_4CPCI", ["MI-CS"] * 4 + ["CP-CI"] * 4),
+    ("2MICS_2MICI_2CPCS_2CPCI", ["MI-CS", "MI-CS", "MI-CI", "MI-CI", "CP-CS", "CP-CS", "CP-CI", "CP-CI"]),
+    ("8xCPCI", ["CP-CI"] * 8),
+]
+
+
+def _draw_apps(categories: list[str], instance: int, pattern: str) -> tuple[str, ...]:
+    """Deterministically pick one benchmark per requested category.
+
+    Picks avoid duplicates within a workload when the category pool allows,
+    cycling through each pool in a per-(pattern, instance) shuffled order.
+    """
+    rng = rng_for("workload-draw", pattern, instance)
+    pools: dict[str, list[str]] = {}
+    cursor: dict[str, int] = {}
+    apps = []
+    for cat in categories:
+        if cat not in pools:
+            pool = benchmark_names(paper1_category=cat)
+            require(bool(pool), f"no benchmarks in category {cat}")
+            order = list(rng.permutation(len(pool)))
+            pools[cat] = [pool[i] for i in order]
+            cursor[cat] = 0
+        pool = pools[cat]
+        apps.append(pool[cursor[cat] % len(pool)])
+        cursor[cat] += 1
+    return tuple(apps)
+
+
+def paper1_workloads(ncores: int = 4) -> list[Workload]:
+    """The Paper I evaluation workloads (20 four-core or 10 eight-core)."""
+    if ncores == 4:
+        patterns = PAPER1_PATTERNS_4CORE
+    elif ncores == 8:
+        patterns = PAPER1_PATTERNS_8CORE
+    else:
+        raise ValueError("Paper I evaluates 4- and 8-core systems")
+    out = []
+    for pattern, cats in patterns:
+        for instance in range(2):
+            apps = _draw_apps(cats, instance, pattern)
+            out.append(
+                Workload(
+                    name=f"W{len(out):02d}_{pattern}_i{instance}",
+                    apps=apps,
+                    tag=pattern,
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Paper II: 16 ordered type-pair mixes and the 4 scenarios.
+# ---------------------------------------------------------------------------
+
+TYPES = ("A", "B", "C", "D")
+
+
+def scenario_of_mix(types: tuple[str, ...]) -> int:
+    """Scenario (1..4) of a mix given the Paper II types it contains."""
+    has_cs = any(t in ("A", "B") for t in types)
+    has_ps = any(t in ("A", "C") for t in types)
+    if has_cs and has_ps:
+        return 1
+    if has_cs:
+        return 2
+    if has_ps:
+        return 3
+    return 4
+
+
+def paper2_mixes() -> list[tuple[str, str]]:
+    """All 16 ordered pairs of application types."""
+    return [(t1, t2) for t1 in TYPES for t2 in TYPES]
+
+
+def paper2_workloads(ncores: int = 4) -> list[Workload]:
+    """One workload per ordered type pair: ``ncores/2`` apps of each type."""
+    require(ncores % 2 == 0, "Paper II mixes pair two types; ncores must be even")
+    half = ncores // 2
+    out = []
+    for idx, (t1, t2) in enumerate(paper2_mixes()):
+        rng = rng_for("paper2-workload", t1, t2, ncores)
+        apps: list[str] = []
+        for t, k in ((t1, half), (t2, half)):
+            pool = benchmark_names(paper2_type=t)
+            order = [pool[i] for i in rng.permutation(len(pool))]
+            apps.extend(order[i % len(order)] for i in range(k))
+        out.append(
+            Workload(
+                name=f"M{idx:02d}_{t1}{t2}",
+                apps=tuple(apps),
+                tag=f"{t1}{t2}",
+            )
+        )
+    return out

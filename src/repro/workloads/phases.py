@@ -1,0 +1,183 @@
+"""Program phases: the generative unit of synthetic benchmark behaviour.
+
+A benchmark is a sequence of 100 M-instruction *slices*; SimPoint groups the
+slices into *phases* and the detailed simulator characterises one
+representative slice per phase (thesis Chapter 2).  Here a phase is described
+by a :class:`PhaseSpec` -- a small generative model from which the address
+trace, dependence chains and execution profile of its representative slice
+are synthesised deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require, require_positive, require_prob
+
+__all__ = ["PhaseSpec", "PhaseTrace", "SliceFeatures", "FEATURE_DIM"]
+
+#: Dimensionality of the per-slice feature vector fed to SimPoint clustering
+#: (a stand-in for SimPoint's basic-block vectors).
+FEATURE_DIM = 8
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Generative description of one program phase.
+
+    Attributes
+    ----------
+    base_cpi:
+        Execution (non-memory) cycles per instruction on the *medium* core.
+    ilp_sensitivity:
+        0 = CPI insensitive to core size; 1 = fully tracks the core's
+        ``ilp_speedup`` / window scaling.  Drives Paper II's
+        parallelism-sensitive (PS) versus insensitive (PI) categories together
+        with ``mlp_sensitivity``.
+    apki:
+        LLC accesses per kilo-instruction (i.e. L2 misses reaching the LLC).
+        Drives the paper's memory-intensive (MI) category.
+    working_sets:
+        Mixture of reuse pools, each ``(lines_per_set, probability)``: a pool
+        of ``lines_per_set`` distinct lines per cache set accessed uniformly.
+        Pools smaller than the way allocation hit; larger ones thrash.  The
+        shape of this mixture is what makes a phase cache-sensitive.
+    streaming_frac:
+        Fraction of accesses that touch a never-reused line (always miss).
+    chain_break_prob:
+        Probability that an access starts a new dependence chain.  Misses on
+        distinct chains may overlap (MLP); misses on one chain serialise.
+        High values model array/streaming codes, low values pointer chasing.
+    mlp_sensitivity:
+        0 = realised MLP ignores core size (saturates in a small window);
+        1 = realised MLP fully tracks the core's ROB/MSHR resources.
+    epi_dyn:
+        Dynamic core energy per instruction (nJ) on the medium core at Vnom.
+    """
+
+    phase_id: int
+    base_cpi: float
+    ilp_sensitivity: float
+    apki: float
+    working_sets: tuple[tuple[int, float], ...]
+    streaming_frac: float
+    chain_break_prob: float
+    mlp_sensitivity: float
+    epi_dyn: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.base_cpi, "base_cpi")
+        require_positive(self.apki, "apki")
+        require_positive(self.epi_dyn, "epi_dyn")
+        require_prob(self.ilp_sensitivity, "ilp_sensitivity")
+        require_prob(self.streaming_frac, "streaming_frac")
+        require_prob(self.chain_break_prob, "chain_break_prob")
+        require_prob(self.mlp_sensitivity, "mlp_sensitivity")
+        require(len(self.working_sets) >= 1, "need at least one working set")
+        total_p = sum(p for _, p in self.working_sets)
+        require(abs(total_p - 1.0) < 1e-9, f"working-set probabilities must sum to 1, got {total_p}")
+        for size, _ in self.working_sets:
+            require_positive(size, "working-set size")
+
+    def feature_vector(self) -> np.ndarray:
+        """Noise-free slice feature vector (SimPoint's BBV stand-in).
+
+        The features are observable program statistics -- not the spec's
+        internal labels -- scaled to comparable ranges so k-means distances
+        are meaningful.
+        """
+        sizes = np.array([s for s, _ in self.working_sets], dtype=float)
+        probs = np.array([p for _, p in self.working_sets], dtype=float)
+        mean_ws = float(np.dot(sizes, probs))
+        spread_ws = float(np.sqrt(np.dot((sizes - mean_ws) ** 2, probs)))
+        return np.array(
+            [
+                self.base_cpi,
+                np.log10(self.apki),
+                mean_ws / 8.0,
+                spread_ws / 8.0,
+                self.streaming_frac,
+                self.chain_break_prob,
+                self.ilp_sensitivity,
+                self.mlp_sensitivity,
+            ],
+            dtype=float,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseTrace:
+    """Ground-truth phase structure of a benchmark's full execution.
+
+    ``sequence[i]`` is the phase id of slice ``i``; SimPoint reconstructs an
+    operational version of this from slice features.
+    """
+
+    sequence: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        require(len(self.sequence) >= 1, "phase trace cannot be empty")
+
+    @property
+    def nslices(self) -> int:
+        return len(self.sequence)
+
+    def weights(self) -> dict[int, float]:
+        """Fraction of slices belonging to each phase id."""
+        counts: dict[int, int] = {}
+        for pid in self.sequence:
+            counts[pid] = counts.get(pid, 0) + 1
+        return {pid: n / len(self.sequence) for pid, n in counts.items()}
+
+
+@dataclass(frozen=True)
+class SliceFeatures:
+    """Per-slice feature matrix handed to SimPoint (with measurement noise)."""
+
+    matrix: np.ndarray  # (nslices, FEATURE_DIM)
+
+    def __post_init__(self) -> None:
+        require(self.matrix.ndim == 2, "feature matrix must be 2-D")
+        require(self.matrix.shape[1] == FEATURE_DIM, f"feature dim must be {FEATURE_DIM}")
+
+
+def block_phase_sequence(
+    weights: dict[int, float],
+    nslices: int,
+    rng: np.random.Generator,
+    mean_segment: float = 18.0,
+) -> tuple[int, ...]:
+    """Draw a block-structured phase sequence honouring ``weights``.
+
+    Real programs execute phases in contiguous segments rather than i.i.d.
+    draws; we sample segment lengths geometrically (mean ``mean_segment``
+    slices) and pick each segment's phase with probability proportional to
+    the *remaining deficit* of that phase, so realised weights track the
+    requested ones even for short traces.
+    """
+    require(nslices >= 1, "nslices must be >= 1")
+    ids = sorted(weights)
+    target = np.array([weights[i] for i in ids], dtype=float)
+    require(abs(target.sum() - 1.0) < 1e-9, "phase weights must sum to 1")
+    produced = np.zeros(len(ids), dtype=float)
+    seq: list[int] = []
+
+    def emit(k: int) -> None:
+        seg = 1 + int(rng.geometric(1.0 / mean_segment))
+        seg = max(1, min(seg, nslices - len(seq)))
+        seq.extend([ids[k]] * seg)
+        produced[k] += seg
+
+    # Every phase gets at least one segment (SimPoint phases are, by
+    # construction, phases that occur), in random order, while room remains.
+    for k in rng.permutation(len(ids)):
+        if len(seq) >= nslices:
+            break
+        emit(int(k))
+    while len(seq) < nslices:
+        deficit = np.maximum(target * nslices - produced, 1e-9)
+        k = int(rng.choice(len(ids), p=deficit / deficit.sum()))
+        emit(k)
+    return tuple(seq)

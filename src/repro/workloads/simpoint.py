@@ -1,0 +1,168 @@
+"""SimPoint-style phase analysis: k-means over per-slice feature vectors.
+
+The paper's framework runs SimPoint on whole-program Pinballs: the
+instruction stream is cut into fixed-size slices, each slice is summarised by
+a feature vector (basic-block vectors in SimPoint; program statistics here),
+the vectors are clustered with k-means, and each cluster becomes a *phase*
+with one representative slice (the medoid), a weight, and a phase trace (the
+per-slice cluster labels).
+
+We implement the same procedure: k-means++ initialisation, Lloyd iterations,
+and SimPoint's BIC-based model selection (smallest k whose BIC reaches a
+fixed fraction of the best BIC over the sweep).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import rng_for
+from repro.util.validation import require
+from repro.workloads.benchmarks import Benchmark
+from repro.workloads.phases import FEATURE_DIM, SliceFeatures
+
+__all__ = ["SimPointResult", "run_simpoint", "slice_features", "kmeans", "bic_score"]
+
+#: SimPoint's BIC threshold: pick the smallest k scoring >= this fraction of
+#: the best BIC in the sweep.
+BIC_FRACTION = 0.9
+
+#: Measurement noise on slice features (profiling jitter between slices of
+#: the same phase).
+FEATURE_NOISE = 0.015
+
+
+@dataclass(frozen=True)
+class SimPointResult:
+    """Output of phase analysis for one benchmark."""
+
+    labels: np.ndarray              # (nslices,) cluster id per slice
+    representatives: tuple[int, ...]  # slice index of each cluster's medoid
+    weights: tuple[float, ...]      # fraction of slices per cluster
+    centroids: np.ndarray           # (k, FEATURE_DIM)
+
+    @property
+    def k(self) -> int:
+        return len(self.representatives)
+
+    def phase_sequence(self) -> tuple[int, ...]:
+        """The operational phase trace (cluster label per slice)."""
+        return tuple(int(x) for x in self.labels)
+
+
+def slice_features(bench: Benchmark, noise: float = FEATURE_NOISE) -> SliceFeatures:
+    """Per-slice feature matrix: phase feature vector plus profiling noise."""
+    trace = bench.phase_trace()
+    rng = rng_for("slice-features", bench.name)
+    rows = np.empty((trace.nslices, FEATURE_DIM), dtype=float)
+    base = {spec.phase_id: spec.feature_vector() for spec in bench.phases}
+    for i, pid in enumerate(trace.sequence):
+        rows[i] = base[pid] + rng.normal(0.0, noise, size=FEATURE_DIM)
+    return SliceFeatures(matrix=rows)
+
+
+def _kmeans_pp_init(x: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """k-means++ seeding."""
+    n = len(x)
+    centroids = np.empty((k, x.shape[1]))
+    centroids[0] = x[rng.integers(n)]
+    d2 = np.sum((x - centroids[0]) ** 2, axis=1)
+    for j in range(1, k):
+        probs = d2 / d2.sum() if d2.sum() > 0 else np.full(n, 1.0 / n)
+        centroids[j] = x[rng.choice(n, p=probs)]
+        d2 = np.minimum(d2, np.sum((x - centroids[j]) ** 2, axis=1))
+    return centroids
+
+
+def kmeans(
+    x: np.ndarray, k: int, rng: np.random.Generator, iters: int = 60
+) -> tuple[np.ndarray, np.ndarray]:
+    """Lloyd's algorithm; returns (labels, centroids)."""
+    require(k >= 1, "k must be >= 1")
+    require(len(x) >= k, "need at least k points")
+    centroids = _kmeans_pp_init(x, k, rng)
+    labels = np.zeros(len(x), dtype=int)
+    for _ in range(iters):
+        d2 = np.sum((x[:, None, :] - centroids[None, :, :]) ** 2, axis=2)
+        new_labels = np.argmin(d2, axis=1)
+        if np.array_equal(new_labels, labels) and _ != 0:
+            break
+        labels = new_labels
+        for j in range(k):
+            members = x[labels == j]
+            if len(members):
+                centroids[j] = members.mean(axis=0)
+    return labels, centroids
+
+
+def bic_score(x: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """BIC of a spherical-Gaussian mixture fit (SimPoint's model selection).
+
+    Higher is better.  Variance is pooled over clusters with the standard
+    (n - k) degrees-of-freedom correction.
+    """
+    n, d = x.shape
+    k = len(centroids)
+    if n <= k:
+        return -np.inf
+    resid = x - centroids[labels]
+    ss = float(np.sum(resid * resid))
+    variance = max(ss / (d * (n - k)), 1e-12)
+    loglik = 0.0
+    for j in range(k):
+        nj = int(np.sum(labels == j))
+        if nj == 0:
+            continue
+        loglik += (
+            nj * np.log(nj / n)
+            - 0.5 * nj * d * np.log(2.0 * np.pi * variance)
+            - 0.5 * d * (nj - (nj / n))
+        )
+    nparams = k * (d + 1)
+    return loglik - 0.5 * nparams * np.log(n)
+
+
+def run_simpoint(
+    features: SliceFeatures,
+    max_k: int = 8,
+    seed_parts: tuple = (),
+) -> SimPointResult:
+    """Cluster slices into phases and pick representatives (medoids)."""
+    x = features.matrix
+    max_k = min(max_k, len(x))
+    rng = rng_for("simpoint", *seed_parts)
+    fits = []
+    for k in range(1, max_k + 1):
+        labels, centroids = kmeans(x, k, rng)
+        fits.append((k, labels, centroids, bic_score(x, labels, centroids)))
+    best_bic = max(f[3] for f in fits)
+    # BIC can be negative; SimPoint's rule uses the score range over the sweep.
+    worst_bic = min(f[3] for f in fits if np.isfinite(f[3]))
+    span = max(best_bic - worst_bic, 1e-12)
+    chosen = next(
+        f for f in fits if (f[3] - worst_bic) >= BIC_FRACTION * span
+    )
+    k, labels, centroids, _ = chosen
+
+    # Drop empty clusters and relabel compactly.
+    used = sorted(set(int(l) for l in labels))
+    remap = {old: new for new, old in enumerate(used)}
+    labels = np.array([remap[int(l)] for l in labels], dtype=int)
+    centroids = centroids[used]
+
+    reps = []
+    weights = []
+    n = len(x)
+    for j in range(len(used)):
+        members = np.flatnonzero(labels == j)
+        d2 = np.sum((x[members] - centroids[j]) ** 2, axis=1)
+        reps.append(int(members[np.argmin(d2)]))
+        weights.append(len(members) / n)
+    return SimPointResult(
+        labels=labels,
+        representatives=tuple(reps),
+        weights=tuple(weights),
+        centroids=centroids,
+    )

@@ -1,0 +1,55 @@
+"""Shared fixtures: a small system and a cached simulation database.
+
+The session-scoped database uses a repo-local on-disk cache so repeated test
+runs skip the detailed-simulation step entirely (the same property the
+paper's framework is designed around).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import default_system
+from repro.simulation.database import build_database
+
+#: Benchmarks covering all four Paper I categories and all four Paper II
+#: types, kept small so the database builds fast.
+TEST_BENCHMARKS = [
+    "mcf_like",        # MI-CS, B
+    "soplex_like",     # MI-CS, A
+    "libquantum_like", # MI-CI, C
+    "lbm_like",        # MI-CI, C
+    "astar_like",      # CP-CS, B
+    "povray_like",     # CP-CI, D
+    "namd_like",       # CP-CI, D
+]
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", ".sim_cache")
+
+
+@pytest.fixture(scope="session")
+def system4():
+    return default_system(ncores=4)
+
+
+@pytest.fixture(scope="session")
+def system8():
+    return default_system(ncores=8)
+
+
+@pytest.fixture(scope="session")
+def db4(system4):
+    """Small-suite 4-core database (disk-cached across test sessions)."""
+    return build_database(
+        system4, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
+    )
+
+
+@pytest.fixture(scope="session")
+def db8(system8):
+    """Small-suite 8-core database (disk-cached across test sessions)."""
+    return build_database(
+        system8, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
+    )

@@ -1,0 +1,105 @@
+"""Tests for the synthetic address-trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.address_gen import STREAM_BASE, AccessTrace, generate_trace
+from tests.test_phases import make_spec
+
+
+class TestGenerateTrace:
+    def test_shapes_and_counts(self):
+        trace = generate_trace(make_spec(), nsets=8, accesses_per_set=100)
+        assert trace.n_accesses == 800
+        assert trace.set_ids.shape == trace.line_ids.shape == trace.instr_pos.shape
+
+    def test_determinism(self):
+        a = generate_trace(make_spec(), 8, 50, seed_parts=("b", 0))
+        b = generate_trace(make_spec(), 8, 50, seed_parts=("b", 0))
+        np.testing.assert_array_equal(a.line_ids, b.line_ids)
+        np.testing.assert_array_equal(a.instr_pos, b.instr_pos)
+
+    def test_seed_parts_differentiate(self):
+        a = generate_trace(make_spec(), 8, 50, seed_parts=("b", 0))
+        b = generate_trace(make_spec(), 8, 50, seed_parts=("b", 1))
+        assert not np.array_equal(a.line_ids, b.line_ids)
+
+    def test_sets_in_range(self):
+        trace = generate_trace(make_spec(), nsets=8, accesses_per_set=100)
+        assert trace.set_ids.min() >= 0
+        assert trace.set_ids.max() < 8
+
+    def test_streaming_lines_never_reused(self):
+        trace = generate_trace(make_spec(streaming_frac=0.5), 4, 200)
+        stream = trace.line_ids[trace.line_ids >= STREAM_BASE]
+        assert len(stream) > 0
+        assert len(np.unique(stream)) == len(stream)
+
+    def test_streaming_fraction_approximate(self):
+        trace = generate_trace(make_spec(streaming_frac=0.4), 8, 500)
+        frac = float(np.mean(trace.line_ids >= STREAM_BASE))
+        assert 0.33 < frac < 0.47
+
+    def test_working_set_lines_bounded(self):
+        spec = make_spec(working_sets=((4, 0.6), (10, 0.4)), streaming_frac=0.0)
+        trace = generate_trace(spec, 4, 200)
+        assert trace.line_ids.max() < 14  # 4 + 10 pooled lines
+
+    def test_instr_positions_increasing(self):
+        trace = generate_trace(make_spec(), 4, 100)
+        assert np.all(np.diff(trace.instr_pos) > 0)
+
+    def test_apki_matches_spec(self):
+        spec = make_spec(apki=25.0)
+        trace = generate_trace(spec, 16, 500)
+        apki = trace.n_accesses / trace.instructions * 1000.0
+        assert apki == pytest.approx(25.0, rel=0.1)
+
+    def test_chain_ids_monotone_nondecreasing(self):
+        trace = generate_trace(make_spec(), 4, 100)
+        assert np.all(np.diff(trace.chain_ids) >= 0)
+
+    def test_chain_break_rate(self):
+        # streaming accesses always start a chain; use a pure-pool trace
+        spec = make_spec(chain_break_prob=0.2, streaming_frac=0.0)
+        trace = generate_trace(spec, 8, 500)
+        breaks = trace.chain_ids[-1] + 1
+        rate = breaks / trace.n_accesses
+        assert 0.15 < rate < 0.25
+
+    def test_streaming_accesses_always_break_chains(self):
+        spec = make_spec(chain_break_prob=0.0, streaming_frac=0.5)
+        trace = generate_trace(spec, 8, 300)
+        from repro.workloads.address_gen import STREAM_BASE
+        stream_idx = np.flatnonzero(trace.line_ids >= STREAM_BASE)
+        stream_idx = stream_idx[stream_idx > 0]
+        before = trace.chain_ids[stream_idx - 1]
+        at = trace.chain_ids[stream_idx]
+        assert np.all(at > before)
+
+
+class TestRestrictToSets:
+    def test_subset_and_instructions_preserved(self):
+        trace = generate_trace(make_spec(), nsets=8, accesses_per_set=100)
+        sub = trace.restrict_to_sets(2)
+        assert sub.set_ids.max() < 2
+        assert sub.instructions == trace.instructions
+        assert 0 < sub.n_accesses < trace.n_accesses
+
+    def test_sampled_fraction(self):
+        trace = generate_trace(make_spec(), nsets=16, accesses_per_set=200)
+        sub = trace.restrict_to_sets(4)
+        frac = sub.n_accesses / trace.n_accesses
+        assert 0.2 < frac < 0.3  # expect ~4/16
+
+    def test_column_consistency(self):
+        with pytest.raises(ValueError):
+            AccessTrace(
+                set_ids=np.zeros(2, dtype=np.int32),
+                line_ids=np.zeros(3, dtype=np.int64),
+                instr_pos=np.zeros(2),
+                chain_ids=np.zeros(2, dtype=np.int64),
+                instructions=10.0,
+            )

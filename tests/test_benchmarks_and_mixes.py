@@ -1,0 +1,188 @@
+"""Tests for the benchmark catalogue, classification and workload mixes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.benchmarks import BENCHMARKS, benchmark_names, get_benchmark
+from repro.workloads.classification import (
+    categories_from_curves,
+    classify_paper1,
+    classify_paper2,
+)
+from repro.workloads.mixes import (
+    PAPER1_PATTERNS_4CORE,
+    PAPER1_PATTERNS_8CORE,
+    Workload,
+    paper1_workloads,
+    paper2_mixes,
+    paper2_workloads,
+    scenario_of_mix,
+)
+
+
+class TestCatalogue:
+    def test_size_and_integrity(self):
+        assert len(BENCHMARKS) >= 20
+        for name, bench in BENCHMARKS.items():
+            assert bench.name == name
+            assert abs(sum(bench.weights) - 1.0) < 1e-9
+            assert bench.nslices >= 96
+
+    def test_all_categories_populated(self):
+        for cat in ("MI-CS", "MI-CI", "CP-CS", "CP-CI"):
+            assert len(benchmark_names(paper1_category=cat)) >= 3, cat
+        for t in "ABCD":
+            assert len(benchmark_names(paper2_type=t)) >= 3, t
+
+    def test_deterministic_construction(self):
+        a = get_benchmark("mcf_like")
+        b = get_benchmark("mcf_like")
+        assert a.phases == b.phases
+        assert a.phase_trace().sequence == b.phase_trace().sequence
+
+    def test_phase_trace_covers_all_phases(self):
+        for bench in BENCHMARKS.values():
+            seen = set(bench.phase_trace().sequence)
+            assert seen == {p.phase_id for p in bench.phases}, bench.name
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quake_like")
+
+    def test_spec_of(self):
+        bench = get_benchmark("mcf_like")
+        assert bench.spec_of(0).phase_id == 0
+        with pytest.raises(KeyError):
+            bench.spec_of(99)
+
+
+class TestDerivedCategories:
+    """The catalogue must satisfy the paper's own classification criteria."""
+
+    def test_paper1_categories_match_intent(self, db4, system4):
+        mismatches = []
+        for name in db4.benchmarks():
+            bench = get_benchmark(name)
+            mi, cs = classify_paper1(db4.weighted_mpki_curve(name), system4.baseline_ways)
+            derived = f"{'MI' if mi else 'CP'}-{'CS' if cs else 'CI'}"
+            if derived != bench.paper1_category:
+                mismatches.append((name, bench.paper1_category, derived))
+        assert not mismatches, mismatches
+
+    def test_paper2_types_match_intent(self, db4, system4):
+        mismatches = []
+        for name in db4.benchmarks():
+            bench = get_benchmark(name)
+            cs, ps = classify_paper2(
+                db4.weighted_mpki_curve(name),
+                db4.weighted_mlp_grid(name),
+                system4.baseline_ways,
+            )
+            derived = {(True, True): "A", (True, False): "B",
+                       (False, True): "C", (False, False): "D"}[(cs, ps)]
+            if derived != bench.paper2_type:
+                mismatches.append((name, bench.paper2_type, derived))
+        assert not mismatches, mismatches
+
+    def test_categories_object(self, db4, system4):
+        cats = categories_from_curves(
+            db4.weighted_mpki_curve("mcf_like"),
+            db4.weighted_mlp_grid("mcf_like"),
+            system4.baseline_ways,
+        )
+        assert cats.paper1_category == "MI-CS"
+        assert cats.paper2_type == "B"
+
+
+class TestWorkloads:
+    def test_paper1_counts(self):
+        w4 = paper1_workloads(4)
+        w8 = paper1_workloads(8)
+        assert len(w4) == 20 and all(w.ncores == 4 for w in w4)
+        assert len(w8) == 10 and all(w.ncores == 8 for w in w8)
+        # 80 apps in each suite, as in the paper
+        assert sum(w.ncores for w in w4) == 80
+        assert sum(w.ncores for w in w8) == 80
+
+    def test_paper1_categories_respected(self):
+        for wl, (pattern, cats) in zip(
+            paper1_workloads(4)[::2], PAPER1_PATTERNS_4CORE
+        ):
+            for app, cat in zip(wl.apps, cats):
+                assert BENCHMARKS[app].paper1_category == cat, (wl.name, app)
+
+    def test_workloads_deterministic(self):
+        a = paper1_workloads(4)
+        b = paper1_workloads(4)
+        assert [w.apps for w in a] == [w.apps for w in b]
+
+    def test_instances_differ(self):
+        w4 = paper1_workloads(4)
+        pairs = zip(w4[::2], w4[1::2])
+        assert any(a.apps != b.apps for a, b in pairs)
+
+    def test_rejects_other_core_counts(self):
+        with pytest.raises(ValueError):
+            paper1_workloads(6)
+
+    def test_workload_slack_defaults_zero(self):
+        wl = paper1_workloads(4)[0]
+        assert wl.slack == (0.0,) * 4
+
+    def test_with_slack(self):
+        wl = paper1_workloads(4)[0].with_slack(0.2)
+        assert wl.slack == (0.2,) * 4
+        wl2 = wl.with_slack((0.1, 0.0, 0.0, 0.0))
+        assert wl2.slack[0] == 0.1
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            Workload(name="bad", apps=("a", "b"), slack=(0.1,))
+
+
+class TestPaper2Mixes:
+    def test_sixteen_ordered_mixes(self):
+        mixes = paper2_mixes()
+        assert len(mixes) == 16
+        assert len(set(mixes)) == 16
+
+    def test_scenario_mapping(self):
+        assert scenario_of_mix(("A", "A")) == 1
+        assert scenario_of_mix(("A", "D")) == 1
+        assert scenario_of_mix(("B", "C")) == 1
+        assert scenario_of_mix(("B", "B")) == 2
+        assert scenario_of_mix(("B", "D")) == 2
+        assert scenario_of_mix(("C", "C")) == 3
+        assert scenario_of_mix(("C", "D")) == 3
+        assert scenario_of_mix(("D", "D")) == 4
+
+    def test_rm3_substantially_better_in_12_of_16(self):
+        """The paper's count: RM3 adds substantially in 12/16 mixes
+        (scenarios 1 and 3 -- wherever a parallelism-sensitive app exists)."""
+        n = sum(
+            1
+            for t1, t2 in paper2_mixes()
+            if scenario_of_mix((t1, t2)) in (1, 3)
+        )
+        assert n == 12
+
+    def test_scenario_counts(self):
+        counts = {1: 0, 2: 0, 3: 0, 4: 0}
+        for mix in paper2_mixes():
+            counts[scenario_of_mix(mix)] += 1
+        assert counts == {1: 9, 2: 3, 3: 3, 4: 1}
+
+    def test_paper2_workloads(self):
+        wls = paper2_workloads(4)
+        assert len(wls) == 16
+        for wl, (t1, t2) in zip(wls, paper2_mixes()):
+            assert wl.tag == f"{t1}{t2}"
+            assert BENCHMARKS[wl.apps[0]].paper2_type == t1
+            assert BENCHMARKS[wl.apps[2]].paper2_type == t2
+
+    def test_paper2_workloads_8core(self):
+        wls = paper2_workloads(8)
+        assert len(wls) == 16
+        assert all(w.ncores == 8 for w in wls)

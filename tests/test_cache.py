@@ -1,0 +1,273 @@
+"""Tests for the cache substrate: LRU model, ATD, partitioning, UCP.
+
+Includes the load-bearing cross-validation: the ATD's stack-distance counts
+must reproduce, for *every* way allocation at once, exactly what the direct
+LRU cache model measures one allocation at a time (Mattson's inclusion
+property).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.atd import COLD, atd_profile, miss_curve_mpki, stack_distances
+from repro.cache.lru import LRUSetCache, simulate_partitioned
+from repro.cache.partitioning import Partition, partition_masks, repartition_delta
+from repro.cache.ucp import ucp_lookahead, ucp_optimal
+from repro.workloads.address_gen import AccessTrace, generate_trace
+from tests.test_phases import make_spec
+
+
+def trace_from_lines(line_ids, nsets=1) -> AccessTrace:
+    n = len(line_ids)
+    return AccessTrace(
+        set_ids=np.zeros(n, dtype=np.int32),
+        line_ids=np.asarray(line_ids, dtype=np.int64),
+        instr_pos=np.arange(1.0, n + 1.0) * 40.0,
+        chain_ids=np.arange(n, dtype=np.int64),
+        instructions=n * 40.0,
+    )
+
+
+class TestLRUSetCache:
+    def test_hit_after_insert(self):
+        c = LRUSetCache(nsets=1, ways=2)
+        assert c.access(0, 1) is False
+        assert c.access(0, 1) is True
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_lru_eviction_order(self):
+        c = LRUSetCache(nsets=1, ways=2)
+        c.access(0, 1)
+        c.access(0, 2)
+        c.access(0, 1)  # 1 becomes MRU; LRU is 2
+        c.access(0, 3)  # evicts 2
+        assert c.access(0, 2) is False
+        assert c.resident_lines(0)[0] == 2
+
+    def test_sets_independent(self):
+        c = LRUSetCache(nsets=2, ways=1)
+        c.access(0, 1)
+        c.access(1, 1)
+        assert c.access(0, 1) is True
+        assert c.access(1, 1) is True
+
+    def test_reset_counters(self):
+        c = LRUSetCache(1, 1)
+        c.access(0, 1)
+        c.reset_counters()
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LRUSetCache(0, 1)
+        with pytest.raises(ValueError):
+            LRUSetCache(1, 0)
+
+
+class TestStackDistances:
+    def test_hand_computed(self):
+        # stream: a b a c b a  (one set)
+        t = trace_from_lines([10, 11, 10, 12, 11, 10])
+        d = stack_distances(t, max_ways=4, nsets=1)
+        assert d[0] == COLD          # a cold
+        assert d[1] == COLD          # b cold
+        assert d[2] == 2             # a: {b} between -> distance 2
+        assert d[3] == COLD          # c cold
+        assert d[4] == 3             # b: {a, c} -> 3
+        assert d[5] == 3             # a: {b, c} -> 3
+
+    def test_repeated_access_distance_one(self):
+        t = trace_from_lines([5, 5, 5])
+        d = stack_distances(t, 4, 1)
+        assert list(d[1:]) == [1, 1]
+
+    def test_beyond_max_ways_is_cold(self):
+        t = trace_from_lines([1, 2, 3, 1])  # distance of final access = 3
+        d = stack_distances(t, max_ways=2, nsets=1)
+        assert d[3] == COLD
+
+    def test_atd_matches_direct_lru_every_way(self):
+        """Inclusion property: one ATD pass == per-way LRU simulations."""
+        trace = generate_trace(make_spec(), nsets=4, accesses_per_set=300)
+        dists = stack_distances(trace, 8, 4)
+        profile = atd_profile(dists, 8, trace.instructions)
+        for ways in (1, 2, 4, 8):
+            cache = LRUSetCache(nsets=4, ways=ways)
+            for s, l in zip(trace.set_ids.tolist(), trace.line_ids.tolist()):
+                cache.access(s, l)
+            assert cache.misses == profile.misses[ways - 1], f"ways={ways}"
+
+
+class TestATDProfile:
+    def _profile(self):
+        trace = generate_trace(make_spec(), nsets=4, accesses_per_set=200)
+        dists = stack_distances(trace, 8, 4)
+        return atd_profile(dists, 8, trace.instructions), trace
+
+    def test_counts_conserved(self):
+        profile, trace = self._profile()
+        assert profile.hits_at_distance.sum() + profile.misses[-1] == trace.n_accesses
+
+    def test_miss_curve_monotone_nonincreasing(self):
+        profile, _ = self._profile()
+        assert np.all(np.diff(profile.misses) <= 0)
+
+    def test_hit_curve_monotone_nondecreasing(self):
+        profile, _ = self._profile()
+        assert np.all(np.diff(profile.hit_curve()) >= 0)
+
+    def test_mpki_scaling(self):
+        profile, trace = self._profile()
+        np.testing.assert_allclose(
+            profile.mpki(), profile.misses / trace.instructions * 1000.0
+        )
+
+    def test_apki(self):
+        profile, trace = self._profile()
+        assert profile.apki() == pytest.approx(
+            trace.n_accesses / trace.instructions * 1000.0
+        )
+
+    def test_sampling_scale_extrapolates_rates(self):
+        """Sampled-set MPKI (with scale) approximates full-trace MPKI."""
+        trace = generate_trace(make_spec(), nsets=16, accesses_per_set=400)
+        dists = stack_distances(trace, 8, 16)
+        full = atd_profile(dists, 8, trace.instructions).mpki()
+        mask = trace.set_ids < 4
+        sampled = atd_profile(dists[mask], 8, trace.instructions, scale=4 / 16).mpki()
+        np.testing.assert_allclose(sampled, full, rtol=0.25)
+
+    def test_miss_curve_mpki_convenience(self):
+        trace = generate_trace(make_spec(), nsets=4, accesses_per_set=100)
+        curve = miss_curve_mpki(trace, 8, 4)
+        assert curve.shape == (8,)
+        assert np.all(np.diff(curve) <= 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=200))
+    def test_property_inclusion_on_arbitrary_streams(self, lines):
+        """Mattson inclusion holds for arbitrary single-set streams."""
+        t = trace_from_lines(lines)
+        d = stack_distances(t, 8, 1)
+        profile = atd_profile(d, 8, t.instructions)
+        assert np.all(np.diff(profile.misses) <= 0)
+        assert profile.hits_at_distance.sum() + profile.misses[-1] == len(lines)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=120), st.integers(1, 6))
+    def test_property_atd_equals_lru(self, lines, ways):
+        t = trace_from_lines(lines)
+        d = stack_distances(t, 6, 1)
+        profile = atd_profile(d, 6, t.instructions)
+        cache = LRUSetCache(1, ways)
+        for line in lines:
+            cache.access(0, line)
+        assert cache.misses == profile.misses[min(ways, 6) - 1]
+
+
+class TestPartitioning:
+    def test_masks_disjoint_and_complete(self):
+        p = Partition(ways=(4, 6, 3, 3), total_ways=16)
+        masks = partition_masks(p)
+        combined = 0
+        for m in masks:
+            assert combined & m == 0
+            combined |= m
+        assert combined == (1 << 16) - 1
+
+    def test_mask_popcount_matches_ways(self):
+        p = Partition(ways=(2, 5, 9), total_ways=16)
+        for m, w in zip(partition_masks(p), p.ways):
+            assert bin(m).count("1") == w
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            Partition(ways=(4, 4), total_ways=16)
+        with pytest.raises(ValueError):
+            Partition(ways=(0, 16), total_ways=16)
+
+    def test_repartition_delta(self):
+        old = Partition((4, 4, 4, 4), 16)
+        new = Partition((6, 2, 4, 4), 16)
+        assert repartition_delta(old, new) == (2, -2, 0, 0)
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            repartition_delta(Partition((8, 8), 16), Partition((4, 4, 4, 4), 16))
+
+    def test_strict_partition_isolation(self):
+        """Per-owner behaviour under strict masks == private caches."""
+        rng = np.random.default_rng(7)
+        n = 600
+        set_ids = rng.integers(0, 4, n)
+        line_ids = rng.integers(0, 12, n)
+        owner = rng.integers(0, 2, n)
+        res = simulate_partitioned(set_ids, line_ids, owner, {0: 2, 1: 6}, nsets=4)
+        for o, ways in ((0, 2), (1, 6)):
+            mask = owner == o
+            cache = LRUSetCache(4, ways)
+            for s, l in zip(set_ids[mask].tolist(), line_ids[mask].tolist()):
+                cache.access(s, l)
+            assert res[o] == (cache.hits, cache.misses)
+
+
+class TestUCP:
+    def _random_curves(self, rng, napps, ways):
+        curves = []
+        for _ in range(napps):
+            gains = rng.random(ways) * rng.random()
+            curves.append(np.cumsum(gains))
+        return curves
+
+    def test_allocates_all_ways(self):
+        rng = np.random.default_rng(1)
+        curves = self._random_curves(rng, 4, 16)
+        alloc = ucp_lookahead(curves, 16)
+        assert sum(alloc) == 16
+        assert all(w >= 1 for w in alloc)
+
+    def test_prefers_high_utility_app(self):
+        flat = np.full(8, 1.0).cumsum() * 0.001
+        steep = np.full(8, 1.0).cumsum()
+        alloc = ucp_lookahead([flat, steep], 8)
+        assert alloc[1] > alloc[0]
+
+    def test_optimal_matches_bruteforce_small(self):
+        rng = np.random.default_rng(2)
+        curves = self._random_curves(rng, 2, 6)
+        alloc = ucp_optimal(curves, 6)
+        best = max(
+            ((w, 6 - w) for w in range(1, 6)),
+            key=lambda a: curves[0][a[0] - 1] + curves[1][a[1] - 1],
+        )
+        got = curves[0][alloc[0] - 1] + curves[1][alloc[1] - 1]
+        want = curves[0][best[0] - 1] + curves[1][best[1] - 1]
+        assert got == pytest.approx(want)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 4), st.integers(0, 10_000))
+    def test_lookahead_close_to_optimal(self, napps, seed):
+        """Greedy lookahead achieves near-optimal total hits (its design goal)."""
+        rng = np.random.default_rng(seed)
+        ways = 8
+        curves = self._random_curves(rng, napps, ways)
+        greedy = ucp_lookahead(curves, ways)
+        exact = ucp_optimal(curves, ways)
+        g = sum(c[w - 1] for c, w in zip(curves, greedy))
+        e = sum(c[w - 1] for c, w in zip(curves, exact))
+        assert sum(greedy) == ways and sum(exact) == ways
+        assert g <= e + 1e-9
+        assert g >= 0.85 * e - 1e-9
+
+    def test_min_ways_respected(self):
+        rng = np.random.default_rng(3)
+        curves = self._random_curves(rng, 3, 12)
+        alloc = ucp_lookahead(curves, 12, min_ways=2)
+        assert all(w >= 2 for w in alloc)
+
+    def test_rejects_insufficient_ways(self):
+        with pytest.raises(ValueError):
+            ucp_lookahead([np.ones(4)] * 4, 3)

@@ -1,0 +1,220 @@
+"""Tests for the CPU substrate: DVFS, micro-architecture, timing, power."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import default_system
+from repro.cpu.counters import observe_counters
+from repro.cpu.dvfs import dvfs_transition_cost_ns, voltage_ratio, voltage_ratio_sq
+from repro.cpu.interval_model import PhaseExecution, timing_grid
+from repro.cpu.microarch import exec_cpi_by_size, ilp_cpi_factor
+from repro.cpu.power import energy_grid
+from repro.mem.dram import demanded_bandwidth_gbps, effective_latency_ns
+from tests.test_phases import make_spec
+
+
+@pytest.fixture(scope="module")
+def system():
+    return default_system(4)
+
+
+def make_phase_exec(system, spec=None, flat=False):
+    spec = spec or make_spec()
+    ways = system.llc.ways
+    if flat:
+        mpki = np.full(ways, 10.0)
+    else:
+        mpki = np.linspace(20.0, 5.0, ways)
+    mlp = np.full((system.ncore_sizes, ways), 2.0)
+    mlp[2] *= 1.5  # large core overlaps more
+    mlp[0] *= 0.8
+    mlp[0] = np.maximum(mlp[0], 1.0)
+    return PhaseExecution(spec=spec, mpki=mpki, mlp=mlp)
+
+
+class TestDvfs:
+    def test_voltage_ratio_at_nominal_is_one(self, system):
+        assert float(voltage_ratio(system.vf, system.vf.nominal_ghz)) == pytest.approx(1.0)
+
+    def test_square_relation(self, system):
+        r = voltage_ratio(system.vf, 1.0)
+        assert float(voltage_ratio_sq(system.vf, 1.0)) == pytest.approx(float(r) ** 2)
+
+    def test_transition_cost(self):
+        assert dvfs_transition_cost_ns(20.0, 3, 3) == 0.0
+        assert dvfs_transition_cost_ns(20.0, 3, 4) == 20_000.0
+
+
+class TestMicroarch:
+    def test_factor_interpolates(self, system):
+        small = system.core_sizes[0]
+        assert ilp_cpi_factor(small, 0.0) == pytest.approx(small.ilp_floor)
+        assert ilp_cpi_factor(small, 1.0) == pytest.approx(small.ilp_speedup)
+
+    def test_medium_is_identity(self, system):
+        medium = system.core_sizes[1]
+        assert ilp_cpi_factor(medium, 0.3) == pytest.approx(1.0)
+
+    def test_exec_cpi_ladder(self, system):
+        cpis = exec_cpi_by_size(system, base_cpi=1.0, ilp_sensitivity=0.8)
+        assert cpis[0] > cpis[1] > cpis[2]
+
+    def test_width_floor(self, system):
+        cpis = exec_cpi_by_size(system, base_cpi=0.05, ilp_sensitivity=1.0)
+        for cpi, core in zip(cpis, system.core_sizes):
+            assert cpi >= 1.0 / core.width - 1e-12
+
+
+class TestDram:
+    def test_bandwidth_units(self):
+        # 0.02 miss/instr * 64 B / 1 ns/instr = 1.28 GB/s
+        bw = demanded_bandwidth_gbps(np.array(0.02), np.array(1.0), 64)
+        assert float(bw) == pytest.approx(1.28)
+
+    def test_latency_increases_with_pressure(self, system):
+        lo = effective_latency_ns(system.mem, 12.8, np.array(0.001), np.array(1.0), 64)
+        hi = effective_latency_ns(system.mem, 12.8, np.array(0.08), np.array(1.0), 64)
+        assert float(hi) > float(lo)
+
+    def test_latency_floor_is_service_latency(self, system):
+        l = effective_latency_ns(system.mem, 12.8, np.array(0.0), np.array(1.0), 64)
+        assert float(l) == pytest.approx(system.mem.latency_ns)
+
+
+class TestTimingGrid:
+    def test_shape(self, system):
+        tpi, lat = timing_grid(system, make_phase_exec(system))
+        shape = (system.ncore_sizes, system.vf.nlevels, system.llc.ways)
+        assert tpi.shape == shape and lat.shape == shape
+
+    def test_tpi_decreases_with_frequency(self, system):
+        tpi, _ = timing_grid(system, make_phase_exec(system))
+        assert np.all(np.diff(tpi, axis=1) <= 1e-12)
+
+    def test_tpi_decreases_with_ways(self, system):
+        tpi, _ = timing_grid(system, make_phase_exec(system))
+        assert np.all(np.diff(tpi, axis=2) <= 1e-9)
+
+    def test_flat_curve_makes_ways_irrelevant(self, system):
+        tpi, _ = timing_grid(system, make_phase_exec(system, flat=True))
+        np.testing.assert_allclose(tpi[:, :, 0], tpi[:, :, -1], rtol=1e-6)
+
+    def test_memory_bound_frequency_insensitivity(self, system):
+        """With heavy misses, doubling f improves TPI far less than 2x."""
+        spec = make_spec(base_cpi=0.5, apki=40.0)
+        phase = PhaseExecution(
+            spec=spec,
+            mpki=np.full(system.llc.ways, 30.0),
+            mlp=np.ones((system.ncore_sizes, system.llc.ways)),
+        )
+        tpi, _ = timing_grid(system, phase)
+        f_lo, f_hi = 0, system.vf.nlevels - 1
+        ratio = tpi[1, f_lo, 0] / tpi[1, f_hi, 0]
+        f_ratio = system.vf.freqs_ghz[f_hi] / system.vf.freqs_ghz[f_lo]
+        assert ratio < 0.35 * f_ratio
+
+    def test_latency_includes_queueing(self, system):
+        spec = make_spec(apki=60.0)
+        phase = PhaseExecution(
+            spec=spec,
+            mpki=np.full(system.llc.ways, 50.0),
+            mlp=np.full((system.ncore_sizes, system.llc.ways), 8.0),
+        )
+        _, lat = timing_grid(system, phase)
+        assert np.all(lat >= system.mem.latency_ns - 1e-9)
+        assert lat.max() > system.mem.latency_ns * 1.05
+
+    def test_larger_core_faster_for_sensitive_code(self, system):
+        spec = make_spec(ilp_sensitivity=1.0)
+        tpi, _ = timing_grid(system, make_phase_exec(system, spec))
+        assert np.all(tpi[2] <= tpi[0] + 1e-12)
+
+
+class TestEnergyGrid:
+    def _grids(self, system, spec=None):
+        phase = make_phase_exec(system, spec)
+        tpi, _ = timing_grid(system, phase)
+        return tpi, energy_grid(system, phase, tpi)
+
+    def test_positive(self, system):
+        _, epi = self._grids(system)
+        assert np.all(epi > 0)
+
+    def test_dynamic_scales_with_voltage_squared(self, system):
+        """At fixed (c, w), the f-dependence splits into V^2 dynamic part
+        plus time-proportional parts; check the V^2 component dominates the
+        high-frequency slope for a compute-bound phase."""
+        spec = make_spec(apki=0.5, base_cpi=0.5)
+        phase = PhaseExecution(
+            spec=spec,
+            mpki=np.full(default_system(4).llc.ways, 0.05),
+            mlp=np.ones((3, default_system(4).llc.ways)),
+        )
+        tpi, _ = timing_grid(system, phase)
+        epi = energy_grid(system, phase, tpi)
+        # energy at max f > energy at nominal f (quadratic cost of speed)
+        assert epi[1, -1, 7] > epi[1, system.baseline_freq_index, 7]
+
+    def test_more_ways_cost_static_power(self, system):
+        spec = make_spec(apki=0.5)
+        phase = PhaseExecution(
+            spec=spec,
+            mpki=np.full(system.llc.ways, 0.05),
+            mlp=np.ones((system.ncore_sizes, system.llc.ways)),
+        )
+        tpi, _ = timing_grid(system, phase)
+        epi = energy_grid(system, phase, tpi)
+        assert epi[1, 5, -1] > epi[1, 5, 0]  # flat curve: extra ways pure cost
+
+    def test_fewer_misses_less_dram_energy(self, system):
+        _, epi = self._grids(system)
+        # steep miss curve: more ways -> less DRAM energy (net of way static)
+        assert epi[1, 5, -1] < epi[1, 5, 0]
+
+    def test_large_core_costs_more_dynamic(self, system):
+        spec = make_spec(ilp_sensitivity=0.0, apki=1.0)
+        phase = PhaseExecution(
+            spec=spec,
+            mpki=np.full(system.llc.ways, 0.1),
+            mlp=np.ones((system.ncore_sizes, system.llc.ways)),
+        )
+        tpi, _ = timing_grid(system, phase)
+        epi = energy_grid(system, phase, tpi)
+        f = system.baseline_freq_index
+        assert epi[2, f, 3] > epi[1, f, 3]
+
+
+class TestCounters:
+    def test_snapshot_consistency(self, system, db4=None):
+        # Build a minimal record-like object through the real pipeline.
+        from repro.simulation.detailed import simulate_phase
+
+        rec = simulate_phase(system, "t", 0, make_spec(), 1.0, accesses_per_set=150)
+        alloc = system.baseline_allocation()
+        snap = observe_counters(system, rec, alloc)
+        assert snap.instructions == system.interval_instructions
+        assert snap.cpi == pytest.approx(
+            rec.tpi_at(alloc) * snap.freq_ghz, rel=1e-9
+        )
+        assert snap.exec_cpi > 0
+        assert snap.mem_stall_cycles < snap.cycles
+        assert snap.mpki == pytest.approx(float(rec.mpki_full[alloc.ways - 1]))
+
+    def test_estimates_biased_but_bounded(self, system):
+        from repro.simulation.detailed import simulate_phase
+
+        spec = make_spec(ilp_sensitivity=0.5)
+        rec = simulate_phase(system, "t2", 0, spec, 1.0, accesses_per_set=150)
+        snap = observe_counters(system, rec, system.baseline_allocation())
+        assert abs(snap.ilp_index_est - spec.ilp_sensitivity) <= 0.06 + 1e-9
+        assert abs(snap.epi_dyn_est_nj / spec.epi_dyn - 1.0) <= 0.04 + 1e-9
+
+    def test_snapshot_deterministic(self, system):
+        from repro.simulation.detailed import simulate_phase
+
+        rec = simulate_phase(system, "t3", 0, make_spec(), 1.0, accesses_per_set=150)
+        a = observe_counters(system, rec, system.baseline_allocation())
+        b = observe_counters(system, rec, system.baseline_allocation())
+        assert a == b

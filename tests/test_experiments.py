@@ -1,0 +1,137 @@
+"""Tests for the experiment registry and drivers (reduced fidelity)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.report import ExperimentResult
+from repro.experiments.runner import (
+    BASELINE,
+    RM1,
+    RM2,
+    RM3,
+    ExperimentContext,
+    ManagerSpec,
+)
+from repro.simulation.database import build_database
+from repro.config import default_system
+from repro.workloads.mixes import paper1_workloads
+from tests.conftest import CACHE_DIR
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx():
+    """Full-catalogue context at low fidelity for driver smoke runs."""
+    system = default_system(4)
+    db = build_database(system, accesses_per_set=200, cache_dir=CACHE_DIR)
+    return ExperimentContext(system=system, db=db, max_slices=8)
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_present(self):
+        ids = list_experiments()
+        for i in range(1, 17):
+            assert f"E{i}" in ids
+        assert {"A1", "A2", "A3"} <= set(ids)
+
+    def test_lookup(self):
+        assert get_experiment("e1").experiment_id == "E1"
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_bench_modules_exist(self):
+        root = os.path.join(os.path.dirname(__file__), "..")
+        for entry in EXPERIMENTS.values():
+            assert os.path.exists(os.path.join(root, entry.bench_module)), entry.bench_module
+
+    def test_papers_assigned(self):
+        assert get_experiment("E1").paper == "I"
+        assert get_experiment("E9").paper == "II"
+        assert get_experiment("A1").paper == "ablation"
+
+
+class TestManagerSpecs:
+    def test_build_kinds(self):
+        from repro.core.managers import (
+            CoordinatedManager,
+            IndependentManager,
+            StaticBaselineManager,
+        )
+
+        assert isinstance(BASELINE.build(), StaticBaselineManager)
+        assert isinstance(RM2.build(), CoordinatedManager)
+        assert isinstance(
+            ManagerSpec(kind="independent", name="i").build(), IndependentManager
+        )
+
+    def test_rm_specs_match_paper_restrictions(self):
+        assert RM1.control_dvfs is False and RM1.control_partitioning is True
+        assert RM2.control_core_size is False
+        assert RM3.control_core_size is True and RM3.mlp_model == "model3"
+
+    def test_specs_picklable(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(RM3)) == RM3
+
+
+class TestContext:
+    def test_baseline_memoised(self, tiny_ctx):
+        wl = paper1_workloads(4)[0]
+        a = tiny_ctx.baseline_run(wl)
+        b = tiny_ctx.baseline_run(wl)
+        assert a is b
+
+    def test_compare(self, tiny_ctx):
+        wl = paper1_workloads(4)[4]
+        cmp = tiny_ctx.compare(wl, RM2)
+        assert cmp.workload == wl.name
+
+    def test_run_matrix_covers_all_pairs(self, tiny_ctx):
+        wls = paper1_workloads(4)[:3]
+        matrix = tiny_ctx.run_matrix(wls, [RM1, RM2], processes=1)
+        assert set(matrix) == {(w.name, s.name) for w in wls for s in (RM1, RM2)}
+
+    def test_run_matrix_parallel_matches_serial(self, tiny_ctx):
+        wls = paper1_workloads(4)[:2]
+        serial = tiny_ctx.run_matrix(wls, [RM2], processes=1)
+        parallel = tiny_ctx.run_matrix(wls, [RM2], processes=2)
+        for key in serial:
+            assert serial[key].savings_pct == pytest.approx(
+                parallel[key].savings_pct, rel=1e-12
+            )
+
+
+class TestDrivers:
+    def test_e1_structure(self, tiny_ctx):
+        result = get_experiment("E1").run(ctx=tiny_ctx)
+        assert isinstance(result, ExperimentResult)
+        assert len(result.rows) == 21  # 20 workloads + mean
+        assert "rm2 avg %" in result.summary
+        assert result.paper["rm2 avg %"] == 6.0
+
+    def test_e9_structure(self, tiny_ctx):
+        result = get_experiment("E9").run(ctx=tiny_ctx)
+        assert len(result.rows) == 16
+        scenarios = [row[1] for row in result.rows]
+        assert sorted(set(scenarios)) == [1, 2, 3, 4]
+
+    def test_e8_overhead_bound(self, tiny_ctx):
+        result = get_experiment("E8").run(ctx=tiny_ctx)
+        assert result.summary["fraction %"] < 0.1
+
+    def test_render_and_markdown(self, tiny_ctx):
+        result = get_experiment("E8").run(ctx=tiny_ctx)
+        text = result.render()
+        assert "E8" in text and "paper:" in text
+        md = result.markdown()
+        assert md.startswith("### E8")
+        assert "| quantity | paper | measured |" in md
+
+    def test_e6_partial_relaxation_ordering(self, tiny_ctx):
+        result = get_experiment("E6").run(ctx=tiny_ctx)
+        by_name = {r[0]: r[1] for r in result.rows}
+        assert by_name["all relaxed"] >= by_name["none relaxed"] - 0.5

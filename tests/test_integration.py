@@ -1,0 +1,142 @@
+"""End-to-end integration tests: the paper's headline claims in miniature.
+
+These run the full pipeline (database -> baseline -> managed runs) on the
+small test suite and assert the *shape* of the paper's results: who wins,
+what is (in)effective, and that QoS holds where it must.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.managers import (
+    IndependentManager,
+    dvfs_only,
+    rm1_partitioning_only,
+    rm2_combined,
+    rm3_core_adaptive,
+)
+from repro.simulation.metrics import compare_runs, interval_violation_stats
+from repro.simulation.rma_sim import simulate_workload
+from repro.workloads.mixes import Workload
+
+MAX_SLICES = 40
+
+CS_MIX = Workload(
+    name="cs-mix", apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like")
+)
+STREAM_MIX = Workload(
+    name="stream-mix", apps=("libquantum_like", "lbm_like", "libquantum_like", "lbm_like")
+)
+COMPUTE_MIX = Workload(
+    name="compute-mix", apps=("povray_like", "namd_like", "povray_like", "namd_like")
+)
+
+
+@pytest.fixture(scope="module")
+def runs(system4, db4):
+    """Baseline + managed runs for the three characteristic mixes."""
+    out = {}
+    for wl in (CS_MIX, STREAM_MIX, COMPUTE_MIX):
+        base = simulate_workload(system4, db4, wl, max_slices=MAX_SLICES)
+        out[wl.name] = {"base": base, "wl": wl}
+    return out
+
+
+def _cmp(system, db, runs, mix, manager):
+    entry = runs[mix]
+    run = simulate_workload(system, db, entry["wl"], manager, max_slices=MAX_SLICES)
+    return compare_runs(entry["base"], run), run
+
+
+class TestPaperHeadlines:
+    def test_combined_rma_saves_on_cs_mix(self, system4, db4, runs):
+        cmp, _ = _cmp(system4, db4, runs, "cs-mix", rm2_combined())
+        assert cmp.savings_pct > 3.0
+
+    def test_combined_rma_keeps_qos_tight(self, system4, db4, runs):
+        cmp, _ = _cmp(system4, db4, runs, "cs-mix", rm2_combined())
+        worst = max(v.slowdown_pct for v in cmp.violations)
+        assert worst < 9.0  # paper: max observed violation 9%
+
+    def test_partitioning_only_saves_much_less(self, system4, db4, runs):
+        c1, _ = _cmp(system4, db4, runs, "cs-mix", rm1_partitioning_only())
+        c2, _ = _cmp(system4, db4, runs, "cs-mix", rm2_combined())
+        assert c2.savings_pct > c1.savings_pct + 1.0
+
+    def test_dvfs_only_saves_nothing_under_strict_qos(self, system4, db4, runs):
+        for mix in ("cs-mix", "stream-mix", "compute-mix"):
+            cmp, _ = _cmp(system4, db4, runs, mix, dvfs_only())
+            assert cmp.savings_pct < 0.5, mix
+
+    def test_rm3_beats_rm2_when_parallelism_sensitive(self, system4, db4, runs):
+        c2, _ = _cmp(system4, db4, runs, "stream-mix", rm2_combined())
+        c3, _ = _cmp(system4, db4, runs, "stream-mix", rm3_core_adaptive())
+        assert c2.savings_pct < 1.0          # scenario 3: RM2 ineffective
+        assert c3.savings_pct > c2.savings_pct + 3.0
+
+    def test_nothing_works_on_pure_compute(self, system4, db4, runs):
+        for mgr in (rm1_partitioning_only(), rm2_combined(), rm3_core_adaptive()):
+            cmp, _ = _cmp(system4, db4, runs, "compute-mix", mgr)
+            assert abs(cmp.savings_pct) < 1.5, mgr.name
+
+    def test_oracle_at_least_as_good_and_violation_free(self, system4, db4, runs):
+        creal, _ = _cmp(system4, db4, runs, "cs-mix", rm2_combined())
+        cperf, _ = _cmp(system4, db4, runs, "cs-mix", rm2_combined(oracle=True))
+        assert cperf.savings_pct > creal.savings_pct - 1.5
+        assert cperf.n_violations == 0
+
+    def test_relaxation_buys_energy(self, system4, db4):
+        wl = CS_MIX
+        base = simulate_workload(system4, db4, wl, max_slices=MAX_SLICES)
+        strict = simulate_workload(
+            system4, db4, wl, rm2_combined(oracle=True), max_slices=MAX_SLICES
+        )
+        relaxed = simulate_workload(
+            system4, db4, wl.with_slack(0.4), rm2_combined(oracle=True),
+            max_slices=MAX_SLICES,
+        )
+        s_strict = compare_runs(base, strict).savings_pct
+        s_relaxed = compare_runs(base, relaxed).savings_pct
+        assert s_relaxed > s_strict + 3.0
+
+    def test_relaxed_qos_still_respected(self, system4, db4):
+        wl = CS_MIX.with_slack(0.4)
+        base = simulate_workload(system4, db4, CS_MIX, max_slices=MAX_SLICES)
+        run = simulate_workload(
+            system4, db4, wl, rm2_combined(oracle=True), max_slices=MAX_SLICES
+        )
+        cmp = compare_runs(base, run)
+        assert cmp.n_violations == 0  # within the 40% allowance
+
+    def test_independent_controllers_violate_qos(self, system4, db4, runs):
+        cmp, _ = _cmp(system4, db4, runs, "cs-mix", IndependentManager())
+        # UCP gives the streaming app's ways away without QoS regard --
+        # someone in the mix ends up slower than allowed.
+        assert cmp.n_violations >= 1
+
+    def test_model3_interval_violations_bounded(self, system4, db4, runs):
+        _, run = _cmp(system4, db4, runs, "stream-mix", rm3_core_adaptive())
+        stats = interval_violation_stats(run.interval_samples)
+        assert stats["probability"] < 25.0
+
+    def test_energy_conservation(self, system4, db4, runs):
+        """Managed energy differs from baseline only by a sane fraction."""
+        for mix in ("cs-mix", "stream-mix", "compute-mix"):
+            cmp, _ = _cmp(system4, db4, runs, mix, rm3_core_adaptive())
+            assert -5.0 < cmp.savings_pct < 40.0
+
+
+class TestEightCoreHeadlines:
+    def test_combined_rma_8core(self, system8, db8):
+        wl = Workload(
+            name="cs8",
+            apps=("mcf_like", "soplex_like", "mcf_like", "astar_like",
+                  "libquantum_like", "lbm_like", "povray_like", "namd_like"),
+        )
+        base = simulate_workload(system8, db8, wl, max_slices=20)
+        run = simulate_workload(system8, db8, wl, rm2_combined(), max_slices=20)
+        cmp = compare_runs(base, run)
+        assert cmp.savings_pct > 2.0
+        assert max(v.slowdown_pct for v in cmp.violations) < 9.0

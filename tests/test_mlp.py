@@ -1,0 +1,158 @@
+"""Tests for the leading-miss MLP model and the MLP-aware ATD."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.atd import stack_distances
+from repro.cache.mlp_atd import QUANT_STEPS, MLPTable, mlp_table_from_trace, quantize
+from repro.config import default_system
+from repro.mem.mlp import (
+    effective_window,
+    leading_miss_groups,
+    mlp_grid,
+    mlp_of_misses,
+)
+from repro.workloads.address_gen import generate_trace
+from tests.test_phases import make_spec
+
+
+def misses(positions, chains):
+    return np.asarray(positions, dtype=float), np.asarray(chains, dtype=np.int64)
+
+
+class TestLeadingMissGroups:
+    def test_empty(self):
+        pos, ch = misses([], [])
+        assert leading_miss_groups(pos, ch, 100, 8) == 0
+
+    def test_all_overlap(self):
+        # three independent misses within one window
+        pos, ch = misses([0, 10, 20], [0, 1, 2])
+        assert leading_miss_groups(pos, ch, 100, 8) == 1
+
+    def test_window_splits_groups(self):
+        pos, ch = misses([0, 10, 200, 210], [0, 1, 2, 3])
+        assert leading_miss_groups(pos, ch, 100, 8) == 2
+
+    def test_dependent_misses_serialise(self):
+        # same chain: each miss waits for the previous one
+        pos, ch = misses([0, 10, 20], [5, 5, 5])
+        assert leading_miss_groups(pos, ch, 1000, 8) == 3
+
+    def test_mshr_limit(self):
+        pos, ch = misses([0, 1, 2, 3], [0, 1, 2, 3])
+        assert leading_miss_groups(pos, ch, 1000, mshrs=2) == 2
+
+    def test_dependence_inside_window(self):
+        # 3rd miss depends on the 1st (same chain): closes the group
+        pos, ch = misses([0, 5, 10, 15], [0, 1, 0, 2])
+        # group1 = {0,5}; group2 = {10,15}
+        assert leading_miss_groups(pos, ch, 1000, 8) == 2
+
+
+class TestMlpOfMisses:
+    def test_empty_stream_is_one(self):
+        pos, ch = misses([], [])
+        assert mlp_of_misses(pos, ch, 100, 8) == 1.0
+
+    def test_fully_parallel(self):
+        pos, ch = misses([0, 1, 2, 3], [0, 1, 2, 3])
+        assert mlp_of_misses(pos, ch, 100, 8) == pytest.approx(4.0)
+
+    def test_fully_serial(self):
+        pos, ch = misses([0, 1, 2, 3], [0, 0, 0, 0])
+        assert mlp_of_misses(pos, ch, 100, 8) == pytest.approx(1.0)
+
+    def test_bounded_by_mshrs(self):
+        n = 64
+        pos = np.arange(n, dtype=float)
+        ch = np.arange(n, dtype=np.int64)
+        assert mlp_of_misses(pos, ch, 1e9, mshrs=4) <= 4.0 + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 100), st.integers(1, 16), st.integers(0, 5000))
+    def test_property_bounds(self, n, mshrs, seed):
+        rng = np.random.default_rng(seed)
+        pos = np.cumsum(rng.exponential(30, n))
+        ch = rng.integers(0, max(1, n // 2), n)
+        m = mlp_of_misses(pos, np.sort(ch), 128, mshrs)
+        assert 1.0 - 1e-9 <= m <= mshrs + 1e-9
+
+    def test_wider_window_never_reduces_mlp(self):
+        rng = np.random.default_rng(11)
+        pos = np.cumsum(rng.exponential(25, 400))
+        ch = rng.integers(0, 300, 400)
+        narrow = mlp_of_misses(pos, ch, 48, 16)
+        wide = mlp_of_misses(pos, ch, 512, 16)
+        assert wide >= narrow - 1e-9
+
+
+class TestEffectiveWindow:
+    def test_insensitive_pins_to_baseline(self):
+        system = default_system(4)
+        base = system.core_sizes[1]
+        for core in system.core_sizes:
+            w, m = effective_window(core, base, 0.0)
+            assert w == base.rob
+            assert m == base.mshrs
+
+    def test_sensitive_tracks_core(self):
+        system = default_system(4)
+        base = system.core_sizes[1]
+        for core in system.core_sizes:
+            w, m = effective_window(core, base, 1.0)
+            assert w == core.rob
+            assert m == core.mshrs
+
+
+class TestMlpGrid:
+    def _grid(self, mlp_sensitivity):
+        system = default_system(4)
+        spec = make_spec(chain_break_prob=0.9, mlp_sensitivity=mlp_sensitivity)
+        trace = generate_trace(spec, 16, 400)
+        dists = stack_distances(trace, system.llc.ways, 16)
+        return mlp_grid(system, dists, trace.instr_pos, trace.chain_ids, mlp_sensitivity)
+
+    def test_shape(self):
+        system = default_system(4)
+        grid = self._grid(0.8)
+        assert grid.shape == (system.ncore_sizes, system.llc.ways)
+
+    def test_all_at_least_one(self):
+        assert np.all(self._grid(0.8) >= 1.0)
+
+    def test_sensitive_phase_scales_with_core(self):
+        grid = self._grid(1.0)
+        base_w = 0  # fullest miss stream
+        assert grid[2, base_w] > grid[0, base_w] * 1.1
+
+    def test_insensitive_phase_flat_across_cores(self):
+        grid = self._grid(0.0)
+        np.testing.assert_allclose(grid[0], grid[2], rtol=1e-9)
+
+
+class TestMLPTable:
+    def test_quantize_grid(self):
+        vals = np.array([[1.03, 2.31], [1.49, 3.9]])
+        q = quantize(vals)
+        np.testing.assert_allclose(q * QUANT_STEPS, np.round(q * QUANT_STEPS))
+        assert np.all(q >= 1.0)
+
+    def test_quantize_floors_at_one(self):
+        assert quantize(np.array([[0.5]]))[0, 0] == 1.0
+
+    def test_table_from_trace(self):
+        system = default_system(4)
+        spec = make_spec(chain_break_prob=0.8, mlp_sensitivity=0.9)
+        trace = generate_trace(spec, system.llc.model_sets, 200)
+        table = mlp_table_from_trace(system, trace, 0.9)
+        assert table.values.shape == (system.ncore_sizes, system.llc.ways)
+        assert table.storage_bytes == system.ncore_sizes * system.llc.ways
+        assert table.at(1, 4) == float(table.values[1, 3])
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ValueError):
+            MLPTable(values=np.array([[0.5, 1.0]]))

@@ -1,0 +1,118 @@
+"""Tests for phase specs, traces and the slice-feature machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.rng import rng_for
+from repro.workloads.phases import (
+    FEATURE_DIM,
+    PhaseSpec,
+    PhaseTrace,
+    block_phase_sequence,
+)
+
+
+def make_spec(**overrides) -> PhaseSpec:
+    kw = dict(
+        phase_id=0,
+        base_cpi=1.0,
+        ilp_sensitivity=0.5,
+        apki=20.0,
+        working_sets=((4, 0.6), (10, 0.4)),
+        streaming_frac=0.1,
+        chain_break_prob=0.5,
+        mlp_sensitivity=0.5,
+        epi_dyn=1.0,
+    )
+    kw.update(overrides)
+    return PhaseSpec(**kw)
+
+
+class TestPhaseSpec:
+    def test_valid_spec(self):
+        make_spec()
+
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            make_spec(streaming_frac=1.5)
+        with pytest.raises(ValueError):
+            make_spec(chain_break_prob=-0.1)
+
+    def test_rejects_unnormalised_working_sets(self):
+        with pytest.raises(ValueError):
+            make_spec(working_sets=((4, 0.5), (10, 0.4)))
+
+    def test_rejects_empty_working_sets(self):
+        with pytest.raises(ValueError):
+            make_spec(working_sets=())
+
+    def test_rejects_nonpositive_cpi(self):
+        with pytest.raises(ValueError):
+            make_spec(base_cpi=0.0)
+
+    def test_feature_vector_shape_and_determinism(self):
+        spec = make_spec()
+        v = spec.feature_vector()
+        assert v.shape == (FEATURE_DIM,)
+        np.testing.assert_array_equal(v, spec.feature_vector())
+
+    def test_feature_vector_separates_phases(self):
+        a = make_spec().feature_vector()
+        b = make_spec(apki=2.0, streaming_frac=0.8).feature_vector()
+        assert np.linalg.norm(a - b) > 0.1
+
+
+class TestPhaseTrace:
+    def test_weights(self):
+        t = PhaseTrace((0, 0, 1, 1, 1, 2))
+        w = t.weights()
+        assert w[0] == pytest.approx(2 / 6)
+        assert w[1] == pytest.approx(3 / 6)
+        assert w[2] == pytest.approx(1 / 6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PhaseTrace(())
+
+    def test_nslices(self):
+        assert PhaseTrace((0, 1)).nslices == 2
+
+
+class TestBlockPhaseSequence:
+    def test_length(self):
+        seq = block_phase_sequence({0: 0.5, 1: 0.5}, 100, rng_for("t1"))
+        assert len(seq) == 100
+
+    def test_weights_approximately_honoured(self):
+        seq = block_phase_sequence({0: 0.7, 1: 0.3}, 400, rng_for("t2"))
+        frac0 = seq.count(0) / len(seq)
+        assert 0.6 < frac0 < 0.8
+
+    def test_block_structure(self):
+        """Phases run in segments: far fewer transitions than i.i.d. draws."""
+        seq = block_phase_sequence({0: 0.5, 1: 0.5}, 500, rng_for("t3"))
+        transitions = sum(1 for a, b in zip(seq, seq[1:]) if a != b)
+        assert transitions < 120  # i.i.d. would average ~250
+
+    def test_deterministic_given_rng(self):
+        a = block_phase_sequence({0: 0.4, 1: 0.6}, 50, rng_for("t4"))
+        b = block_phase_sequence({0: 0.4, 1: 0.6}, 50, rng_for("t4"))
+        assert a == b
+
+    def test_single_phase(self):
+        seq = block_phase_sequence({3: 1.0}, 10, rng_for("t5"))
+        assert seq == (3,) * 10
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            block_phase_sequence({0: 0.5, 1: 0.4}, 10, rng_for("t6"))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 200), st.floats(0.05, 0.95))
+    def test_every_length_and_weighting_fills_exactly(self, n, w0):
+        seq = block_phase_sequence({0: w0, 1: 1.0 - w0}, n, rng_for("t7", n, w0))
+        assert len(seq) == n
+        assert set(seq) <= {0, 1}

@@ -1,0 +1,133 @@
+"""Tests for the SimPoint-style phase analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import rng_for
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.phases import SliceFeatures
+from repro.workloads.simpoint import (
+    bic_score,
+    kmeans,
+    run_simpoint,
+    slice_features,
+)
+
+
+def gaussian_blobs(k, n_per, sep=5.0, dim=8, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, sep, (k, dim))
+    points = np.concatenate([c + rng.normal(0, 0.3, (n_per, dim)) for c in centers])
+    labels = np.repeat(np.arange(k), n_per)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        x, truth = gaussian_blobs(3, 40)
+        labels, centroids = kmeans(x, 3, rng_for("km1"))
+        # cluster assignments must be consistent with ground truth up to relabel
+        for t in range(3):
+            members = labels[truth == t]
+            assert len(set(members.tolist())) == 1
+        assert centroids.shape == (3, 8)
+
+    def test_k_equals_one(self):
+        x, _ = gaussian_blobs(2, 10)
+        labels, centroids = kmeans(x, 1, rng_for("km2"))
+        assert set(labels.tolist()) == {0}
+        np.testing.assert_allclose(centroids[0], x.mean(axis=0))
+
+    def test_rejects_k_greater_than_n(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((2, 8)), 3, rng_for("km3"))
+
+    def test_deterministic(self):
+        x, _ = gaussian_blobs(2, 30, seed=4)
+        l1, _ = kmeans(x, 2, rng_for("km4"))
+        l2, _ = kmeans(x, 2, rng_for("km4"))
+        np.testing.assert_array_equal(l1, l2)
+
+
+class TestBic:
+    def test_prefers_true_k_on_separated_data(self):
+        x, _ = gaussian_blobs(3, 50, sep=8.0, seed=1)
+        scores = {}
+        for k in (1, 2, 3, 5):
+            labels, centroids = kmeans(x, k, rng_for("bic", k))
+            scores[k] = bic_score(x, labels, centroids)
+        assert scores[3] > scores[1]
+        assert scores[3] > scores[2]
+
+
+class TestRunSimpoint:
+    def test_recovers_benchmark_phases(self):
+        bench = get_benchmark("mcf_like")
+        sp = run_simpoint(slice_features(bench), seed_parts=("mcf_like",))
+        true_trace = bench.phase_trace()
+        # The operational phase count should be close to the true phase count.
+        assert 2 <= sp.k <= len(bench.phases) + 2
+        # Cluster labels must be constant within each true phase's slices
+        # for the dominant phases (clustering may merge, must not split).
+        labels = np.asarray(sp.labels)
+        truth = np.asarray(true_trace.sequence)
+        for pid in set(truth.tolist()):
+            members = labels[truth == pid]
+            # dominant label covers nearly all slices of the phase
+            counts = np.bincount(members)
+            assert counts.max() / counts.sum() > 0.9
+
+    def test_weights_sum_to_one(self):
+        bench = get_benchmark("povray_like")
+        sp = run_simpoint(slice_features(bench), seed_parts=("povray_like",))
+        assert sum(sp.weights) == pytest.approx(1.0)
+
+    def test_representatives_belong_to_their_cluster(self):
+        bench = get_benchmark("soplex_like")
+        sp = run_simpoint(slice_features(bench), seed_parts=("soplex_like",))
+        for cluster, rep in enumerate(sp.representatives):
+            assert sp.labels[rep] == cluster
+
+    def test_phase_sequence_matches_labels(self):
+        bench = get_benchmark("lbm_like")
+        sp = run_simpoint(slice_features(bench), seed_parts=("lbm_like",))
+        assert sp.phase_sequence() == tuple(int(x) for x in sp.labels)
+
+    def test_max_k_respected(self):
+        bench = get_benchmark("namd_like")
+        sp = run_simpoint(slice_features(bench), max_k=2, seed_parts=("namd_like",))
+        assert sp.k <= 2
+
+    def test_deterministic(self):
+        bench = get_benchmark("astar_like")
+        a = run_simpoint(slice_features(bench), seed_parts=("astar_like",))
+        b = run_simpoint(slice_features(bench), seed_parts=("astar_like",))
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert a.representatives == b.representatives
+
+
+class TestSliceFeatures:
+    def test_shape(self):
+        bench = get_benchmark("mcf_like")
+        f = slice_features(bench)
+        assert f.matrix.shape[0] == bench.nslices
+
+    def test_noise_small_relative_to_phase_separation(self):
+        bench = get_benchmark("mcf_like")
+        f = slice_features(bench)
+        trace = bench.phase_trace()
+        truth = np.asarray(trace.sequence)
+        # within-phase spread << between-phase distance for dominant phases
+        mats = {pid: f.matrix[truth == pid] for pid in set(truth.tolist())}
+        within = max(m.std(axis=0).max() for m in mats.values() if len(m) > 3)
+        centers = [m.mean(axis=0) for m in mats.values() if len(m) > 3]
+        between = max(
+            np.linalg.norm(a - b) for i, a in enumerate(centers) for b in centers[i + 1:]
+        )
+        assert within * 3 < between
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SliceFeatures(matrix=np.zeros((4, 3)))

@@ -1,0 +1,166 @@
+"""Unit tests for repro.util: rng, stats, tables, parallel, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.parallel import default_processes, parallel_map
+from repro.util.rng import rng_for, seed_for
+from repro.util.stats import Summary, geo_mean, summarize, weighted_mean
+from repro.util.tables import format_cell, render_table
+from repro.util.validation import (
+    require,
+    require_monotone,
+    require_positive,
+    require_prob,
+)
+
+
+class TestRng:
+    def test_seed_is_stable(self):
+        assert seed_for("a", 1, 2.5) == seed_for("a", 1, 2.5)
+
+    def test_different_parts_different_seeds(self):
+        assert seed_for("a") != seed_for("b")
+        assert seed_for("a", 0) != seed_for("a", 1)
+
+    def test_part_boundaries_matter(self):
+        # ("ab", "c") must differ from ("a", "bc")
+        assert seed_for("ab", "c") != seed_for("a", "bc")
+
+    def test_rng_reproducible(self):
+        a = rng_for("x", 1).standard_normal(8)
+        b = rng_for("x", 1).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rng_streams_independent(self):
+        a = rng_for("x", 1).standard_normal(8)
+        b = rng_for("x", 2).standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_seed_is_64_bit(self):
+        s = seed_for("anything")
+        assert 0 <= s < 2**64
+
+
+class TestStats:
+    def test_geo_mean_basic(self):
+        assert geo_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geo_mean_empty(self):
+        assert geo_mean([]) == 0.0
+
+    def test_geo_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geo_mean([1.0, 0.0])
+
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_mean_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_weighted_mean_zero_weights(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
+
+    def test_summarize(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s == Summary(3, 2.0, pytest.approx(np.std([1, 2, 3])), 1.0, 3.0)
+
+    def test_summarize_empty(self):
+        assert summarize([]).n == 0
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    def test_geo_mean_between_min_and_max(self, xs):
+        g = geo_mean(xs)
+        assert min(xs) - 1e-9 <= g <= max(xs) + 1e-9
+
+
+class TestTables:
+    def test_render_basic(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.50" in out and "30" in out
+
+    def test_render_with_title(self):
+        out = render_table(["x"], [[1]], title="T1")
+        assert out.startswith("T1\n==")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_format_cell_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_format_cell_float_format(self):
+        assert format_cell(1.234, "{:.1f}") == "1.2"
+
+    def test_columns_align(self):
+        out = render_table(["col", "x"], [["aaaa", 1], ["b", 22]])
+        rows = out.splitlines()
+        assert len(rows[2]) == len(rows[3])
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallel:
+    def test_serial_fallback(self):
+        assert parallel_map(_square, [1, 2, 3], processes=1) == [1, 4, 9]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, processes=4) == [x * x for x in items]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], processes=4) == []
+
+    def test_single_item_no_pool(self):
+        assert parallel_map(_square, [7], processes=8) == [49]
+
+    def test_default_processes_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROCESSES", "3")
+        assert default_processes() == 3
+
+    def test_order_preserved(self):
+        items = list(range(50))
+        assert parallel_map(_square, items, processes=5) == [x * x for x in items]
+
+
+class TestValidation:
+    def test_require_ok(self):
+        require(True, "nope")
+
+    def test_require_raises(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_require_prob(self):
+        require_prob(0.0, "p")
+        require_prob(1.0, "p")
+        with pytest.raises(ValueError):
+            require_prob(1.01, "p")
+
+    def test_require_positive(self):
+        require_positive(0.1, "x")
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_require_monotone_decreasing(self):
+        require_monotone([3.0, 2.0, 2.0, 1.0], "m")
+        with pytest.raises(ValueError):
+            require_monotone([1.0, 2.0], "m")
+
+    def test_require_monotone_increasing(self):
+        require_monotone([1.0, 2.0], "m", increasing=True)
+        with pytest.raises(ValueError):
+            require_monotone([2.0, 1.0], "m", increasing=True)

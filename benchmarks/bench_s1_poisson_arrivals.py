@@ -1,0 +1,24 @@
+"""S1: open-system Poisson arrivals (dynamic scenario engine).
+
+Tenants arrive as a Poisson process and preempt cores mid-run; managers
+must re-derive energy curves as the co-location set changes.  Extension
+beyond the papers' static mixes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import s1_poisson_arrivals
+
+
+def test_s1_poisson_arrivals(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: s1_poisson_arrivals(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert len(result.rows) == 4
+    # Coordinated management must not burn meaningfully more energy than the
+    # static baseline even under preempting arrivals.
+    assert result.summary["rm2-combined avg savings %"] > -1.0
+    assert result.summary["rm3-core-adaptive avg savings %"] > -1.0

@@ -1,0 +1,21 @@
+"""S2: QoS-target schedules (dynamic scenario engine).
+
+Per-app slack ramps down (SLO hardening) and up (relaxation) mid-run; the
+dynamic analogue of the static relaxation sweep (E5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import s2_qos_ramp
+
+
+def test_s2_qos_ramp(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: s2_qos_ramp(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert len(result.rows) == 4
+    # Time-varying slack is headroom the managers convert into savings.
+    assert result.summary["rm2-combined avg savings %"] > 0.0

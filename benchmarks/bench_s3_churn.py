@@ -1,0 +1,20 @@
+"""S3: application churn (dynamic scenario engine).
+
+Tenants depart leaving power-gated idle cores; replacements arrive later.
+Idle partitions are released to the active tenants.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import s3_churn
+
+
+def test_s3_churn(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: s3_churn(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert len(result.rows) == 3
+    assert result.summary["rm3-core-adaptive avg savings %"] > -1.0

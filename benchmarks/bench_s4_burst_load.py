@@ -1,0 +1,20 @@
+"""S4: burst load (dynamic scenario engine).
+
+One tenant, a burst filling every core, then a drain -- the diurnal-peak
+shape; exercises partition hand-back on departures.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scenarios import s4_burst_load
+
+
+def test_s4_burst_load(benchmark, record_artifact, ctx4):
+    result = benchmark.pedantic(
+        lambda: s4_burst_load(ctx4),
+        rounds=1,
+        iterations=1,
+    )
+    record_artifact(result)
+    assert len(result.rows) == 4
+    assert result.summary["rm2-combined avg savings %"] > -1.0

@@ -46,29 +46,35 @@ def _leaf(curve: EnergyCurve, min_ways: int) -> _Node:
 
 
 def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node:
+    """Min-plus convolution of two curves, vectorised over all sums ``s``.
+
+    ``epi[s] = min over sl of a.epi[sl] + b.epi[s - sl]`` is the minimum of
+    the ``(i + j == k)`` anti-diagonal of the outer sum of the two energy
+    arrays.  Padding ``a.epi`` with ``inf`` and taking length-``len(b)``
+    sliding windows aligns anti-diagonal ``k`` with window ``k`` against the
+    reversed ``b.epi``, so one 2-D reduction replaces the per-``s`` Python
+    loop; out-of-range pairs sit on the ``inf`` padding and never win the
+    argmin.  Window position ascends with the left child's way count, so
+    tie-breaking (first minimum) matches the scalar formulation exactly.
+    """
     lo = a.min_ways + b.min_ways
     hi = min(a.max_ways + b.max_ways, cap)
     require(hi >= lo, "combined curve has empty range")
-    epi = np.full(hi - lo + 1, np.inf)
-    split = np.zeros(hi - lo + 1, dtype=int)
-    cells = 0
-    for s in range(lo, hi + 1):
-        sl_lo = max(a.min_ways, s - b.max_ways)
-        sl_hi = min(a.max_ways, s - b.min_ways)
-        if sl_hi < sl_lo:
-            continue
-        left_vals = a.epi[sl_lo - a.min_ways : sl_hi - a.min_ways + 1]
-        # right ways go s-sl_lo down to s-sl_hi as sl increases
-        r_hi = s - sl_lo - b.min_ways
-        r_lo = s - sl_hi - b.min_ways
-        right_vals = b.epi[r_lo : r_hi + 1][::-1]
-        total = left_vals + right_vals
-        cells += len(total)
-        k = int(np.argmin(total))
-        epi[s - lo] = total[k]
-        split[s - lo] = sl_lo + k
+    na, nb = len(a.epi), len(b.epi)
+    nk = hi - lo + 1
+    pad = np.full(nb - 1, np.inf)
+    padded = np.concatenate([pad, a.epi, pad])
+    windows = np.lib.stride_tricks.sliding_window_view(padded, nb)[:nk]
+    totals = windows + b.epi[::-1]
+    m = np.argmin(totals, axis=1)
+    ks = np.arange(nk)
+    epi = totals[ks, m]
+    split = a.min_ways + ks + m - (nb - 1)
     if meter is not None:
-        meter.charge_dp(cells)
+        # DP work actually required per s: the in-range (sl, s - sl) pairs.
+        cells = np.minimum.reduce([ks + 1, np.full(nk, na), np.full(nk, nb),
+                                   na + nb - 1 - ks])
+        meter.charge_dp(int(cells.sum()))
     return _Node(min_ways=lo, max_ways=hi, epi=epi, left=a, right=b, split=split)
 
 

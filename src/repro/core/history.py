@@ -118,6 +118,11 @@ class HistoryAwareManager(CoordinatedManager):
         super().attach(sim)
         self.history = {}
 
+    def on_scenario_event(self, core_id: int, kind: str) -> None:
+        super().on_scenario_event(core_id, kind)
+        # Phase table and transitions fingerprint the departed tenant.
+        self.history.pop(core_id, None)
+
     def _analytical_curve(self, core_id: int) -> EnergyCurve:
         sim, system = self.sim, self.sim.system
         snap = sim.completed_snapshot(core_id)

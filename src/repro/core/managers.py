@@ -67,6 +67,15 @@ class ResourceManager(ABC):
         self.sim = sim
         self.meter = OverheadMeter()
 
+    def on_scenario_event(self, core_id: int, kind: str) -> None:
+        """The co-location set changed on ``core_id`` (scenario swap/depart).
+
+        Managers holding per-core state derived from the departed tenant --
+        energy curves, phase history, cache profiles -- must discard it here
+        and re-derive from the new tenant's statistics.
+        """
+        return None
+
     @abstractmethod
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
         """Decide new allocations after ``core_id`` finished an interval."""
@@ -105,6 +114,11 @@ class CoordinatedManager(ResourceManager):
     def attach(self, sim) -> None:
         super().attach(sim)
         self.curves = {}
+
+    def on_scenario_event(self, core_id: int, kind: str) -> None:
+        # The cached curve models the departed tenant; the new one (or the
+        # idle core) is pinned until fresh statistics arrive.
+        self.curves.pop(core_id, None)
 
     # -- dimension restrictions ---------------------------------------------
     def _dims(self, system: SystemConfig) -> DimSpec:
@@ -146,19 +160,38 @@ class CoordinatedManager(ResourceManager):
             max_ways=system.llc.ways,
         )
 
+    def _idle_curve(self, core_id: int) -> EnergyCurve:
+        """Curve for an idle (power-gated) core: release all but the minimum ways.
+
+        Idle tenancy is the one case where shrinking a partition is free, so
+        the global optimiser hands the freed capacity to the active tenants.
+        """
+        system = self.sim.system
+        return EnergyCurve.pinned(
+            core_id,
+            ways=system.min_ways_per_core,
+            core_idx=system.baseline_core_index,
+            freq_idx=system.baseline_freq_index,
+            max_ways=system.llc.ways,
+        )
+
+    def _curve_for(self, core_id: int) -> EnergyCurve:
+        if not self.sim.is_active(core_id):
+            return self._idle_curve(core_id)
+        if self.oracle:
+            return self._oracle_curve(core_id)
+        if core_id in self.curves:
+            return self.curves[core_id]
+        return self._pinned_curve(core_id)
+
     # -- the decision ----------------------------------------------------------
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
         sim, system = self.sim, self.sim.system
         self.meter.begin_invocation()
 
-        if self.oracle:
-            curves = [self._oracle_curve(j) for j in range(system.ncores)]
-        else:
+        if not self.oracle:
             self.curves[core_id] = self._analytical_curve(core_id)
-            curves = [
-                self.curves[j] if j in self.curves else self._pinned_curve(j)
-                for j in range(system.ncores)
-            ]
+        curves = [self._curve_for(j) for j in range(system.ncores)]
 
         assignment = global_optimize(
             curves,
@@ -247,6 +280,10 @@ class IndependentManager(ResourceManager):
         self.hit_curves = {}
         self.snapshots = {}
 
+    def on_scenario_event(self, core_id: int, kind: str) -> None:
+        self.hit_curves.pop(core_id, None)
+        self.snapshots.pop(core_id, None)
+
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
         import numpy as np
 
@@ -260,13 +297,21 @@ class IndependentManager(ResourceManager):
         self.hit_curves[core_id] = rec.apki - np.asarray(rec.mpki_sampled)
         self.snapshots[core_id] = (snap, rec)
 
-        if len(self.hit_curves) < system.ncores:
-            return None  # UCP waits until every core has a profile
+        active = [j for j in range(system.ncores) if sim.is_active(j)]
+        if any(j not in self.hit_curves for j in active):
+            return None  # UCP waits until every active core has a profile
 
+        # Unprofiled (idle) cores keep their current ways; UCP partitions
+        # the remainder among the profiled cores.
         order = sorted(self.hit_curves)
+        held = sum(
+            sim.current_alloc(j).ways
+            for j in range(system.ncores)
+            if j not in self.hit_curves
+        )
         alloc_ways = ucp_lookahead(
             [self.hit_curves[j] for j in order],
-            total_ways=system.llc.ways,
+            total_ways=system.llc.ways - held,
             min_ways=system.min_ways_per_core,
         )
         self.meter.charge_dp(system.llc.ways * system.ncores)

@@ -4,6 +4,7 @@ Usage::
 
     repro-experiments list
     repro-experiments run E1 E3 ...       # or: run all
+    repro-experiments run S1 S2 S3 S4     # dynamic-scenario experiments
     repro-experiments run all --markdown EXPERIMENTS.md
 
 Fidelity knobs via environment: ``REPRO_MAX_SLICES`` (truncate traces),

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.experiments import ablations, paper1, paper2
+from repro.experiments import ablations, paper1, paper2, scenarios
 from repro.experiments.report import ExperimentResult
 
 __all__ = ["ExperimentEntry", "EXPERIMENTS", "get_experiment", "list_experiments"]
@@ -73,6 +73,14 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
                         ablations.a4_phase_history, "benchmarks/bench_a4_phase_history.py"),
         ExperimentEntry("A5", "extension", "scheduler co-location guidance",
                         ablations.a5_colocation, "benchmarks/bench_a5_colocation.py"),
+        ExperimentEntry("S1", "scenario", "dynamic: Poisson arrival process",
+                        scenarios.s1_poisson_arrivals, "benchmarks/bench_s1_poisson_arrivals.py"),
+        ExperimentEntry("S2", "scenario", "dynamic: QoS-target ramps",
+                        scenarios.s2_qos_ramp, "benchmarks/bench_s2_qos_ramp.py"),
+        ExperimentEntry("S3", "scenario", "dynamic: application churn",
+                        scenarios.s3_churn, "benchmarks/bench_s3_churn.py"),
+        ExperimentEntry("S4", "scenario", "dynamic: burst load ramp/drain",
+                        scenarios.s4_burst_load, "benchmarks/bench_s4_burst_load.py"),
     ]
 }
 

@@ -16,15 +16,22 @@ from repro.core.managers import (
     CoordinatedManager,
     StaticBaselineManager,
 )
+from repro.scenarios.events import Scenario
 from repro.simulation.database import SimulationDatabase, build_database
 from repro.simulation.metrics import RunResult, WorkloadComparison, compare_runs
-from repro.simulation.rma_sim import simulate_workload
+from repro.simulation.rma_sim import simulate_scenario, simulate_workload
 from repro.util.parallel import parallel_map
 from repro.workloads.mixes import Workload
 
 __all__ = ["ExperimentContext", "get_context", "ManagerSpec", "DEFAULT_CACHE_DIR"]
 
-DEFAULT_CACHE_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "..", ".sim_cache")
+# Normalised so the on-disk cache is one stable location regardless of the
+# process's working directory or how the package path was assembled.
+DEFAULT_CACHE_DIR = os.path.normpath(
+    os.path.abspath(
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", ".sim_cache")
+    )
+)
 
 #: Experiment fidelity knobs; EXPERIMENTS.md records the values used.
 ACCESSES_PER_SET = int(os.environ.get("REPRO_ACCESSES_PER_SET", "600"))
@@ -104,6 +111,14 @@ def _run_one(task: tuple) -> RunResult:
     )
 
 
+def _run_one_scenario(task: tuple) -> RunResult:
+    scenario, spec, max_slices = task
+    ctx: ExperimentContext = _WORKER["ctx"]
+    return simulate_scenario(
+        ctx.system, ctx.db, scenario, spec.build(), max_slices=max_slices
+    )
+
+
 @dataclass
 class ExperimentContext:
     """Database + memoised baseline runs for one system size."""
@@ -140,6 +155,36 @@ class ExperimentContext:
         _WORKER["ctx"] = self
         tasks = [(wl, spec, self.max_slices) for wl in workloads]
         return parallel_map(_run_one, tasks, processes=processes)
+
+    def run_scenario(self, scenario: Scenario, spec: ManagerSpec) -> RunResult:
+        """Simulate one dynamic scenario under one manager."""
+        return simulate_scenario(
+            self.system, self.db, scenario, spec.build(), max_slices=self.max_slices
+        )
+
+    def run_scenarios(
+        self,
+        scenarios: list[Scenario],
+        specs: list[ManagerSpec],
+        processes: int | None = None,
+    ) -> dict[tuple[str, str], RunResult]:
+        """Run every (scenario, manager) pair in parallel.
+
+        Returns ``{(scenario name, manager name): RunResult}``.  Scenario
+        runs execute a fixed interval horizon, so comparisons against the
+        baseline manager's run of the same scenario are energy at equal
+        instruction counts (wall-clock event exposure follows each run's own
+        timeline, as in a real open system); results are bit-identical for
+        any ``processes`` count because the event streams are pre-generated
+        and the replay is deterministic.
+        """
+        _WORKER["ctx"] = self
+        tasks = [(sc, spec, self.max_slices) for sc in scenarios for spec in specs]
+        results = parallel_map(_run_one_scenario, tasks, processes=processes)
+        return {
+            (sc.name, spec.name): run
+            for (sc, spec, _), run in zip(tasks, results)
+        }
 
     def run_matrix(
         self,

@@ -1,0 +1,41 @@
+"""Dynamic scenario engine: time-varying multi-tenant workloads.
+
+The papers evaluate the coordinated RMA on static workloads -- one app per
+core for the whole run.  Production systems are not static: applications
+arrive and depart, QoS contracts tighten and relax, and load ramps up and
+down.  This package describes such time-varying executions as *scenarios*:
+
+* a :class:`~repro.scenarios.events.Scenario` is an initial workload plus a
+  time-ordered stream of :class:`~repro.scenarios.events.ScenarioEvent`\\ s
+  (app swap, departure, QoS-slack change) and a total-interval horizon;
+* :mod:`repro.scenarios.generators` builds scenarios from stochastic
+  processes -- Poisson and trace-driven arrivals, application churn, QoS
+  ramps and load bursts -- all seeded through :mod:`repro.util.rng` so the
+  event streams are bit-reproducible across processes and platforms;
+* the RMA simulator (:mod:`repro.simulation.rma_sim`) applies the events at
+  interval boundaries and runs to the horizon.
+
+Scenario experiments S1..S4 (:mod:`repro.experiments.scenarios`) drive the
+engine end-to-end and are registered alongside the paper experiments.
+"""
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.scenarios.generators import (
+    DEFAULT_INTERVAL_NS,
+    burst_load,
+    churn,
+    poisson_arrivals,
+    qos_ramp,
+    trace_arrivals,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioEvent",
+    "DEFAULT_INTERVAL_NS",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "churn",
+    "qos_ramp",
+    "burst_load",
+]

@@ -1,0 +1,109 @@
+"""Scenario description: an initial workload plus a timed event stream.
+
+Events are *requests*: each names a core, a wall-clock time and a change.
+The RMA simulator applies a request at the target core's first interval
+boundary at or after ``time_ns`` (an idle core, which has no boundaries of
+its own, picks the request up at the next global event).  Applying changes
+at interval boundaries keeps the replay semantics of the simulation-results
+database intact: an interval is always one application's 100 M instructions
+under one resource setting.
+
+Event kinds
+-----------
+``swap``
+    Replace whatever runs on the core (or activate an idle core) with
+    ``app``, restarting that benchmark's phase trace from the top.  The
+    resource manager is notified so it discards statistics and energy
+    curves derived from the departed tenant.
+``depart``
+    The core's tenant leaves and the core idles (power-gated: it accrues
+    neither instructions nor energy) until a later ``swap`` re-activates it.
+``slack``
+    The core's QoS contract changes: the per-app allowed slowdown becomes
+    ``slack`` (0.0 = strict baseline QoS) from the next boundary on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import require
+from repro.workloads.mixes import Workload
+
+__all__ = ["ScenarioEvent", "Scenario", "EVENT_KINDS"]
+
+EVENT_KINDS = ("swap", "depart", "slack")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One timed change request against one core."""
+
+    time_ns: float
+    core: int
+    kind: str                 # "swap" | "depart" | "slack"
+    app: str | None = None    # required for "swap"
+    slack: float | None = None  # required for "slack"
+
+    def __post_init__(self) -> None:
+        require(self.time_ns >= 0.0, "event time must be non-negative")
+        require(self.core >= 0, "event core must be non-negative")
+        require(self.kind in EVENT_KINDS, f"unknown event kind {self.kind!r}")
+        if self.kind == "swap":
+            require(bool(self.app), "swap event needs an app")
+        if self.kind == "slack":
+            require(self.slack is not None and self.slack >= 0.0,
+                    "slack event needs a non-negative slack")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A dynamic execution: initial tenancy, event stream and horizon.
+
+    ``horizon_intervals`` is the total number of 100 M-instruction intervals
+    (summed over all cores) the simulation executes -- a fixed amount of
+    *work*, so energy totals of different managers over the same scenario
+    are directly comparable.  ``active`` masks which cores start busy;
+    inactive cores idle until a ``swap`` event targets them.
+    """
+
+    name: str
+    workload: Workload
+    events: tuple[ScenarioEvent, ...] = field(default=())
+    horizon_intervals: int = 64
+    active: tuple[bool, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        require(self.horizon_intervals >= 1, "horizon must be at least one interval")
+        if not self.active:
+            object.__setattr__(self, "active", tuple(True for _ in self.workload.apps))
+        require(len(self.active) == self.workload.ncores, "active/apps length mismatch")
+        require(any(self.active), "at least one core must start active")
+        last: dict[int, float] = {}
+        for ev in self.events:
+            require(ev.core < self.workload.ncores,
+                    f"event targets core {ev.core}, workload has {self.workload.ncores}")
+            require(ev.time_ns >= last.get(ev.core, 0.0),
+                    f"events for core {ev.core} must be time-ordered")
+            last[ev.core] = ev.time_ns
+
+    @property
+    def ncores(self) -> int:
+        return self.workload.ncores
+
+    def events_for(self, core: int) -> tuple[ScenarioEvent, ...]:
+        return tuple(ev for ev in self.events if ev.core == core)
+
+    def counts(self) -> dict[str, int]:
+        """Event-kind histogram (used in experiment notes)."""
+        out = {k: 0 for k in EVENT_KINDS}
+        for ev in self.events:
+            out[ev.kind] += 1
+        return out
+
+    def describe(self) -> str:
+        c = self.counts()
+        return (f"{self.name}: {self.workload.ncores} cores, "
+                f"{self.horizon_intervals} intervals, "
+                f"{c['swap']} swaps, {c['depart']} departures, "
+                f"{c['slack']} QoS changes")

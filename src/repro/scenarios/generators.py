@@ -1,0 +1,230 @@
+"""Scenario generators: stochastic processes over apps, cores and QoS.
+
+Every generator derives all randomness from :func:`repro.util.rng.rng_for`
+with a ``("scenario", kind, name, seed)`` key, so a (name, seed) pair fully
+determines the event stream -- across processes, platforms and
+``REPRO_PROCESSES`` settings.  Times are expressed in nanoseconds;
+``DEFAULT_INTERVAL_NS`` is the nominal duration of one 100 M-instruction
+interval at the baseline setting (measured across the benchmark catalogue),
+used to convert "every k intervals"-style knobs into wall-clock times.
+
+Generators take the *app pool* explicitly (usually
+``db.benchmarks()``) so scenarios never reference benchmarks missing from
+the simulation database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.util.rng import rng_for
+from repro.util.validation import require
+from repro.workloads.mixes import Workload
+
+__all__ = [
+    "DEFAULT_INTERVAL_NS",
+    "poisson_arrivals",
+    "trace_arrivals",
+    "churn",
+    "qos_ramp",
+    "burst_load",
+]
+
+#: Nominal wall-clock length of one execution interval at the baseline
+#: allocation (catalogue benchmarks measure 0.3-1.5e8 ns; this is the mean).
+DEFAULT_INTERVAL_NS = 8.0e7
+
+
+def _initial_workload(
+    name: str, ncores: int, apps: Sequence[str], rng, slack: float = 0.0
+) -> Workload:
+    require(len(apps) >= 1, "app pool must not be empty")
+    picks = tuple(apps[int(i)] for i in rng.integers(0, len(apps), size=ncores))
+    return Workload(name=name, apps=picks, slack=tuple(slack for _ in range(ncores)))
+
+
+def poisson_arrivals(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    rate_per_interval: float = 0.25,
+    horizon_intervals: int = 64,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    slack: float = 0.0,
+) -> Scenario:
+    """Open system: tenants arrive as a Poisson process and preempt cores.
+
+    Arrivals form a Poisson process with ``rate_per_interval`` expected
+    arrivals per nominal interval; each arrival draws an app from the pool
+    and lands on the least-recently-retenanted core (FIFO eviction), the
+    standard open-system placement policy.
+    """
+    require(rate_per_interval > 0.0, "arrival rate must be positive")
+    rng = rng_for("scenario", "poisson", name, seed)
+    workload = _initial_workload(name, ncores, apps, rng, slack)
+    # Wall-clock span over which the horizon's intervals roughly spread.
+    duration_ns = horizon_intervals * interval_ns / ncores
+    tenancy_since = {j: 0.0 for j in range(ncores)}
+    events: list[ScenarioEvent] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(interval_ns / rate_per_interval))
+        if t >= duration_ns:
+            break
+        core = min(tenancy_since, key=lambda j: (tenancy_since[j], j))
+        tenancy_since[core] = t
+        app = apps[int(rng.integers(0, len(apps)))]
+        events.append(ScenarioEvent(time_ns=t, core=core, kind="swap", app=app))
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals,
+    )
+
+
+def trace_arrivals(
+    name: str,
+    workload: Workload,
+    trace: Iterable[tuple[float, int, str]],
+    horizon_intervals: int = 64,
+) -> Scenario:
+    """Trace-driven arrivals: replay an explicit ``(time_ns, core, app)`` log.
+
+    The hook for production traces: any recorded placement log (e.g. a
+    cluster scheduler trace) becomes a scenario by listing who landed where,
+    when.  Entries are sorted by time before conversion.
+    """
+    entries = sorted(trace, key=lambda e: (float(e[0]), int(e[1])))
+    events = tuple(
+        ScenarioEvent(time_ns=float(t), core=int(core), kind="swap", app=app)
+        for t, core, app in entries
+    )
+    return Scenario(
+        name=name, workload=workload, events=events,
+        horizon_intervals=horizon_intervals,
+    )
+
+
+def churn(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    cycles: int = 6,
+    idle_intervals: float = 2.0,
+    horizon_intervals: int = 64,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    slack: float = 0.0,
+) -> Scenario:
+    """Application churn: tenants leave cores idle, replacements arrive later.
+
+    ``cycles`` sequential depart->idle->arrive cycles, each on an
+    rng-chosen core: the tenant departs, the core idles (power-gated) for
+    roughly ``idle_intervals`` nominal intervals, then a fresh app from the
+    pool moves in.  Cycles are sequential, so at most one core is idle at a
+    time and the system never fully drains.
+    """
+    require(cycles >= 1, "need at least one churn cycle")
+    rng = rng_for("scenario", "churn", name, seed)
+    workload = _initial_workload(name, ncores, apps, rng, slack)
+    duration_ns = horizon_intervals * interval_ns / ncores
+    gap_ns = duration_ns / (cycles + 1)
+    events: list[ScenarioEvent] = []
+    t = 0.0
+    for _ in range(cycles):
+        t += float(rng.uniform(0.5, 1.0)) * gap_ns
+        core = int(rng.integers(0, ncores))
+        idle_ns = float(rng.exponential(idle_intervals * interval_ns))
+        app = apps[int(rng.integers(0, len(apps)))]
+        events.append(ScenarioEvent(time_ns=t, core=core, kind="depart"))
+        events.append(
+            ScenarioEvent(time_ns=t + idle_ns, core=core, kind="swap", app=app)
+        )
+        t += idle_ns
+    events.sort(key=lambda ev: (ev.time_ns, ev.core))
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals,
+    )
+
+
+def qos_ramp(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    start_slack: float = 0.4,
+    end_slack: float = 0.0,
+    steps: int = 4,
+    horizon_intervals: int = 64,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+) -> Scenario:
+    """Per-app QoS-target schedule: slack ramps from start to end over time.
+
+    Every core's allowed slowdown moves linearly from ``start_slack`` to
+    ``end_slack`` in ``steps`` evenly spaced steps -- tightening targets when
+    ``end_slack < start_slack`` (e.g. a latency SLO hardening as traffic
+    grows), relaxing them otherwise.  The static workload isolates the QoS
+    axis: only targets change, tenancy does not.
+    """
+    require(steps >= 1, "need at least one ramp step")
+    require(start_slack >= 0.0 and end_slack >= 0.0, "slack must be non-negative")
+    rng = rng_for("scenario", "qos-ramp", name, seed)
+    workload = _initial_workload(name, ncores, apps, rng, start_slack)
+    duration_ns = horizon_intervals * interval_ns / ncores
+    events: list[ScenarioEvent] = []
+    for k in range(1, steps + 1):
+        frac = k / steps
+        slack = start_slack + (end_slack - start_slack) * frac
+        t = frac * duration_ns * 0.9  # last step lands inside the horizon
+        for core in range(ncores):
+            events.append(
+                ScenarioEvent(time_ns=t, core=core, kind="slack", slack=round(slack, 6))
+            )
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals,
+    )
+
+
+def burst_load(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    burst_start_intervals: float = 4.0,
+    burst_length_intervals: float = 16.0,
+    horizon_intervals: int = 64,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    slack: float = 0.0,
+) -> Scenario:
+    """Load ramp: a single tenant, a burst filling every core, then a drain.
+
+    The system starts with one active core.  At ``burst_start_intervals``
+    the remaining cores fill with arrivals in quick succession (the ramp);
+    after ``burst_length_intervals`` they drain back off one by one, leaving
+    the original tenant alone again -- the canonical diurnal-peak shape.
+    """
+    require(ncores >= 2, "burst load needs at least two cores")
+    rng = rng_for("scenario", "burst", name, seed)
+    workload = _initial_workload(name, ncores, apps, rng, slack)
+    active = tuple(j == 0 for j in range(ncores))
+    t_burst = burst_start_intervals * interval_ns
+    t_drain = t_burst + burst_length_intervals * interval_ns
+    events: list[ScenarioEvent] = []
+    for j in range(1, ncores):
+        jitter = float(rng.uniform(0.0, 0.25)) * interval_ns
+        app = apps[int(rng.integers(0, len(apps)))]
+        events.append(
+            ScenarioEvent(time_ns=t_burst + jitter, core=j, kind="swap", app=app)
+        )
+        drain_jitter = float(rng.uniform(0.0, 2.0)) * interval_ns
+        events.append(
+            ScenarioEvent(time_ns=t_drain + drain_jitter, core=j, kind="depart")
+        )
+    events.sort(key=lambda ev: (ev.time_ns, ev.core))
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals, active=active,
+    )

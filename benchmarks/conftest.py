@@ -8,6 +8,11 @@ RMA-simulation phase; the rendered artefact is printed and persisted under
 Fidelity defaults for the harness keep a full ``pytest benchmarks/
 --benchmark-only`` run in minutes; export ``REPRO_MAX_SLICES=`` (empty) and
 ``REPRO_ACCESSES_PER_SET=1200`` for full-fidelity runs.
+
+Contexts built here carry the persistent run-results store
+(``.sim_cache/results/``), so re-runs of an unchanged benchmark are served
+from disk and time the *store*, not the simulation; export
+``REPRO_NO_RESULT_CACHE=1`` (or clear the directory) to time cold replays.
 """
 
 from __future__ import annotations

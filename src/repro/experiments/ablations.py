@@ -24,8 +24,6 @@ from repro.experiments.runner import (
     get_context,
 )
 from repro.simulation.database import build_database
-from repro.simulation.metrics import compare_runs
-from repro.simulation.rma_sim import simulate_workload
 from repro.workloads.mixes import Workload, paper1_workloads
 
 __all__ = [
@@ -108,7 +106,8 @@ def a3_atd_sampling(
     sampled_sets: tuple[int, ...] = (4, 16, 64),
 ) -> ExperimentResult:
     """A3: sensitivity of RM2 to the number of ATD-sampled sets."""
-    base_system = get_context(4).system
+    parent = get_context(4)
+    base_system = parent.system
     workloads = paper1_workloads(4)[:6]
     rows = []
     summary = {}
@@ -119,11 +118,14 @@ def a3_atd_sampling(
             names=sorted({a for wl in workloads for a in wl.apps}),
             accesses_per_set=400,
         )
+        # Full traces (max_slices=None), as this ablation has always run;
+        # each sampled-sets variant hashes to distinct run keys (different
+        # system and database digests), so the parent store is shared.
+        sub_ctx = ExperimentContext(system=system, db=db, max_slices=None,
+                                    results_store=parent.results_store)
         vals, nviol = [], 0
         for wl in workloads:
-            base = simulate_workload(system, db, wl)
-            run = simulate_workload(system, db, wl, RM2.build())
-            cmp = compare_runs(base, run)
+            cmp = sub_ctx.compare(wl, RM2)
             vals.append(cmp.savings_pct)
             nviol += cmp.n_violations
         rows.append([sample, float(np.mean(vals)), nviol])

@@ -9,6 +9,10 @@ Usage::
 
 Fidelity knobs via environment: ``REPRO_MAX_SLICES`` (truncate traces),
 ``REPRO_ACCESSES_PER_SET`` (trace density), ``REPRO_PROCESSES`` (workers).
+
+Finished runs are served from the persistent results store under
+``.sim_cache/results/``; pass ``--no-result-cache`` (or set
+``REPRO_NO_RESULT_CACHE=1``) to force re-simulation.
 """
 
 from __future__ import annotations
@@ -30,12 +34,21 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("ids", nargs="+", help="experiment ids (e.g. E1 E9) or 'all'")
     run_p.add_argument("--markdown", metavar="PATH", default=None,
                        help="append markdown blocks to PATH")
+    run_p.add_argument("--no-result-cache", action="store_true",
+                       help="bypass the persistent run-results store and "
+                            "re-simulate every run (the store itself is "
+                            "left untouched)")
     args = parser.parse_args(argv)
 
     if args.command == "list":
         for entry in EXPERIMENTS.values():
             print(f"{entry.experiment_id:4s} paper {entry.paper:8s} {entry.artefact}")
         return 0
+
+    if args.no_result_cache:
+        from repro.experiments.runner import set_result_cache
+
+        set_result_cache(False)
 
     ids = list(EXPERIMENTS) if [i.lower() for i in args.ids] == ["all"] else args.ids
     blocks = []

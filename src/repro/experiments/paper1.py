@@ -245,7 +245,10 @@ def e7_baseline_vf_sensitivity(
     values = []
     for anchor in anchors_ghz:
         system = replace(ctx.system, qos_baseline_ghz=anchor)
-        sub_ctx = ExperimentContext(system=system, db=ctx.db, max_slices=ctx.max_slices)
+        # The anchored system is hashed into every run key, so the parent's
+        # results store can be shared safely across anchors.
+        sub_ctx = ExperimentContext(system=system, db=ctx.db, max_slices=ctx.max_slices,
+                                    results_store=ctx.results_store)
         matrix = sub_ctx.run_matrix(workloads, [RM2])
         vals = [matrix[(wl.name, RM2.name)].savings_pct for wl in workloads]
         rows.append([f"{anchor:.1f} GHz", float(np.mean(vals)), float(np.max(vals))])

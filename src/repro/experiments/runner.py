@@ -4,6 +4,14 @@ An :class:`ExperimentContext` owns the simulation database for a system size
 and memoises baseline runs (the paper's framework reuses one database for all
 experiments).  ``run_matrix`` fans (workload x manager) runs out over worker
 processes; results are deterministic regardless of the process count.
+
+On top of the in-memory memo, a context built by :func:`get_context` carries
+a persistent :class:`~repro.simulation.results_store.ResultsStore` under
+``<cache_dir>/results/``: every finished run is content-addressed by
+(database digest, workload/scenario, manager spec, ``max_slices``) and
+repeated experiment or benchmark invocations load it from disk instead of
+re-simulating.  Disable with ``REPRO_NO_RESULT_CACHE=1`` or the CLI's
+``--no-result-cache`` flag.
 """
 
 from __future__ import annotations
@@ -19,11 +27,19 @@ from repro.core.managers import (
 from repro.scenarios.events import Scenario
 from repro.simulation.database import SimulationDatabase, build_database
 from repro.simulation.metrics import RunResult, WorkloadComparison, compare_runs
+from repro.simulation.results_store import ResultsStore, run_key
 from repro.simulation.rma_sim import simulate_scenario, simulate_workload
 from repro.util.parallel import parallel_map
 from repro.workloads.mixes import Workload
 
-__all__ = ["ExperimentContext", "get_context", "ManagerSpec", "DEFAULT_CACHE_DIR"]
+__all__ = [
+    "ExperimentContext",
+    "get_context",
+    "ManagerSpec",
+    "DEFAULT_CACHE_DIR",
+    "set_result_cache",
+    "result_cache_enabled",
+]
 
 # Normalised so the on-disk cache is one stable location regardless of the
 # process's working directory or how the package path was assembled.
@@ -37,6 +53,21 @@ DEFAULT_CACHE_DIR = os.path.normpath(
 ACCESSES_PER_SET = int(os.environ.get("REPRO_ACCESSES_PER_SET", "600"))
 MAX_SLICES_ENV = os.environ.get("REPRO_MAX_SLICES", "")
 MAX_SLICES: int | None = int(MAX_SLICES_ENV) if MAX_SLICES_ENV else None
+
+#: Result-store kill switch (``--no-result-cache`` flips it at runtime).
+_RESULT_CACHE_ENABLED = os.environ.get(
+    "REPRO_NO_RESULT_CACHE", ""
+).strip().lower() not in ("1", "true", "yes", "on")
+
+
+def set_result_cache(enabled: bool) -> None:
+    """Enable/disable the persistent run-results store for new contexts."""
+    global _RESULT_CACHE_ENABLED
+    _RESULT_CACHE_ENABLED = bool(enabled)
+
+
+def result_cache_enabled() -> bool:
+    return _RESULT_CACHE_ENABLED
 
 
 @dataclass(frozen=True)
@@ -99,13 +130,32 @@ def rm3_with_model(model: str) -> ManagerSpec:
     )
 
 
-# Worker-process context (inherited over fork; rebuilt lazily under spawn).
+# Worker-process context.  Under the fork start method it is inherited; under
+# spawn the workers start clean, so every fan-out passes ``_init_worker`` as
+# the pool initializer, which rebuilds this mapping from pickled initargs in
+# each worker (and in-process on the serial path).
 _WORKER: dict = {}
+
+
+def _init_worker(ctx: "ExperimentContext") -> None:
+    """Pool initializer: install the experiment context in this process."""
+    _WORKER["ctx"] = ctx
+
+
+def _worker_ctx() -> "ExperimentContext":
+    ctx = _WORKER.get("ctx")
+    if ctx is None:
+        raise RuntimeError(
+            "worker has no experiment context; fan out through parallel_map "
+            "with initializer=_init_worker (required under the spawn start "
+            "method, where module state is not inherited)"
+        )
+    return ctx
 
 
 def _run_one(task: tuple) -> RunResult:
     workload, spec, max_slices = task
-    ctx: ExperimentContext = _WORKER["ctx"]
+    ctx = _worker_ctx()
     return simulate_workload(
         ctx.system, ctx.db, workload, spec.build(), max_slices=max_slices
     )
@@ -113,7 +163,7 @@ def _run_one(task: tuple) -> RunResult:
 
 def _run_one_scenario(task: tuple) -> RunResult:
     scenario, spec, max_slices = task
-    ctx: ExperimentContext = _WORKER["ctx"]
+    ctx = _worker_ctx()
     return simulate_scenario(
         ctx.system, ctx.db, scenario, spec.build(), max_slices=max_slices
     )
@@ -126,25 +176,64 @@ class ExperimentContext:
     system: SystemConfig
     db: SimulationDatabase
     max_slices: int | None = MAX_SLICES
+    results_store: ResultsStore | None = None
     _baselines: dict[str, RunResult] = field(default_factory=dict)
 
+    # ---- results-store plumbing ---------------------------------------------
+    def _key(self, item: Workload | Scenario, spec: ManagerSpec) -> str | None:
+        if self.results_store is None:
+            return None
+        return run_key(self.system, self.db, item, spec, self.max_slices)
+
+    def _lookup(self, key: str | None) -> RunResult | None:
+        if key is None:
+            return None
+        return self.results_store.get(key)
+
+    def _resolve(
+        self,
+        items: list[tuple[Workload | Scenario, ManagerSpec]],
+        worker,
+        processes: int | None,
+    ) -> list[RunResult]:
+        """Serve each (item, spec) pair from the results store where possible;
+        fan the misses out over worker processes and persist them."""
+        keys = [self._key(item, spec) for item, spec in items]
+        results: list[RunResult | None] = [self._lookup(k) for k in keys]
+        todo = [i for i, r in enumerate(results) if r is None]
+        tasks = [(items[i][0], items[i][1], self.max_slices) for i in todo]
+        fresh = parallel_map(
+            worker, tasks, processes=processes,
+            initializer=_init_worker, initargs=(self,),
+        )
+        for i, run in zip(todo, fresh):
+            results[i] = run
+            if keys[i] is not None:
+                self.results_store.put(keys[i], run)
+        return results
+
+    @staticmethod
+    def _baseline_memo_key(workload: Workload) -> str:
+        return workload.name + "/" + ",".join(workload.apps)
+
+    # ---- single runs --------------------------------------------------------
     def baseline_run(self, workload: Workload) -> RunResult:
-        key = workload.name + "/" + ",".join(workload.apps)
+        key = self._baseline_memo_key(workload)
         if key not in self._baselines:
-            self._baselines[key] = simulate_workload(
-                self.system, self.db, workload, StaticBaselineManager(),
-                max_slices=self.max_slices,
-            )
+            self._baselines[key] = self.run(workload, BASELINE)
         return self._baselines[key]
 
     def run(self, workload: Workload, spec: ManagerSpec) -> RunResult:
-        return simulate_workload(
-            self.system, self.db, workload, spec.build(), max_slices=self.max_slices
-        )
+        return self._resolve([(workload, spec)], _run_one, processes=1)[0]
 
     def compare(self, workload: Workload, spec: ManagerSpec) -> WorkloadComparison:
         return compare_runs(self.baseline_run(workload), self.run(workload, spec))
 
+    def run_scenario(self, scenario: Scenario, spec: ManagerSpec) -> RunResult:
+        """Simulate one dynamic scenario under one manager."""
+        return self._resolve([(scenario, spec)], _run_one_scenario, processes=1)[0]
+
+    # ---- batched runs -------------------------------------------------------
     def run_many(
         self,
         workloads: list[Workload],
@@ -152,15 +241,7 @@ class ExperimentContext:
         processes: int | None = None,
     ) -> list[RunResult]:
         """Run one manager over many workloads in parallel (raw results)."""
-        _WORKER["ctx"] = self
-        tasks = [(wl, spec, self.max_slices) for wl in workloads]
-        return parallel_map(_run_one, tasks, processes=processes)
-
-    def run_scenario(self, scenario: Scenario, spec: ManagerSpec) -> RunResult:
-        """Simulate one dynamic scenario under one manager."""
-        return simulate_scenario(
-            self.system, self.db, scenario, spec.build(), max_slices=self.max_slices
-        )
+        return self._resolve([(wl, spec) for wl in workloads], _run_one, processes)
 
     def run_scenarios(
         self,
@@ -178,12 +259,10 @@ class ExperimentContext:
         any ``processes`` count because the event streams are pre-generated
         and the replay is deterministic.
         """
-        _WORKER["ctx"] = self
-        tasks = [(sc, spec, self.max_slices) for sc in scenarios for spec in specs]
-        results = parallel_map(_run_one_scenario, tasks, processes=processes)
+        pairs = [(sc, spec) for sc in scenarios for spec in specs]
+        results = self._resolve(pairs, _run_one_scenario, processes)
         return {
-            (sc.name, spec.name): run
-            for (sc, spec, _), run in zip(tasks, results)
+            (sc.name, spec.name): run for (sc, spec), run in zip(pairs, results)
         }
 
     def run_matrix(
@@ -194,29 +273,39 @@ class ExperimentContext:
     ) -> dict[tuple[str, str], WorkloadComparison]:
         """Run every (workload, manager) pair, plus baselines, in parallel.
 
-        Returns ``{(workload name, manager name): comparison}``.
+        Baselines already memoised (from earlier ``baseline_run`` /
+        ``run_matrix`` calls) or present in the results store are reused
+        rather than re-simulated.  Returns ``{(workload name, manager name):
+        comparison}``.
         """
-        _WORKER["ctx"] = self
-        tasks = [(wl, BASELINE, self.max_slices) for wl in workloads]
-        tasks += [(wl, spec, self.max_slices) for wl in workloads for spec in specs]
-        results = parallel_map(_run_one, tasks, processes=processes)
+        pairs: list[tuple[Workload, ManagerSpec]] = [
+            (wl, BASELINE)
+            for wl in workloads
+            if self._baseline_memo_key(wl) not in self._baselines
+        ]
+        pairs += [(wl, spec) for wl in workloads for spec in specs]
+        results = self._resolve(pairs, _run_one, processes)
 
-        by_wl: dict[str, RunResult] = {}
-        for (wl, spec, _), run in zip(tasks, results):
+        for (wl, spec), run in zip(pairs, results):
             if spec.kind == "baseline":
-                by_wl[wl.name] = run
-                self._baselines.setdefault(
-                    wl.name + "/" + ",".join(wl.apps), run
-                )
+                self._baselines.setdefault(self._baseline_memo_key(wl), run)
         out: dict[tuple[str, str], WorkloadComparison] = {}
-        for (wl, spec, _), run in zip(tasks, results):
+        for (wl, spec), run in zip(pairs, results):
             if spec.kind == "baseline":
                 continue
-            out[(wl.name, spec.name)] = compare_runs(by_wl[wl.name], run)
+            base = self._baselines[self._baseline_memo_key(wl)]
+            out[(wl.name, spec.name)] = compare_runs(base, run)
         return out
 
 
-_CONTEXTS: dict[int, ExperimentContext] = {}
+# Contexts are memoised per (ncores, cache directory): a second call with a
+# different cache_dir builds against *that* cache instead of silently
+# reusing a context keyed to the first one.
+_CONTEXTS: dict[tuple[int, str | None], ExperimentContext] = {}
+
+
+def _normalize_dir(path: str | None) -> str | None:
+    return os.path.normpath(os.path.abspath(path)) if path else None
 
 
 def get_context(
@@ -225,8 +314,9 @@ def get_context(
     names: list[str] | None = None,
 ) -> ExperimentContext:
     """Build (or reuse) the experiment context for an ``ncores`` system."""
-    if ncores in _CONTEXTS and names is None:
-        return _CONTEXTS[ncores]
+    cache_key = (ncores, _normalize_dir(cache_dir))
+    if names is None and cache_key in _CONTEXTS:
+        return _CONTEXTS[cache_key]
     system = default_system(ncores)
     db = build_database(
         system,
@@ -234,7 +324,10 @@ def get_context(
         accesses_per_set=ACCESSES_PER_SET,
         cache_dir=cache_dir,
     )
-    ctx = ExperimentContext(system=system, db=db)
+    store = None
+    if cache_dir and result_cache_enabled():
+        store = ResultsStore(os.path.join(_normalize_dir(cache_dir), "results"))
+    ctx = ExperimentContext(system=system, db=db, results_store=store)
     if names is None:
-        _CONTEXTS[ncores] = ctx
+        _CONTEXTS[cache_key] = ctx
     return ctx

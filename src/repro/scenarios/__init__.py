@@ -12,8 +12,9 @@ down.  This package describes such time-varying executions as *scenarios*:
   processes -- Poisson and trace-driven arrivals, application churn, QoS
   ramps and load bursts -- all seeded through :mod:`repro.util.rng` so the
   event streams are bit-reproducible across processes and platforms;
-* the RMA simulator (:mod:`repro.simulation.rma_sim`) applies the events at
-  interval boundaries and runs to the horizon.
+* the simulation kernel applies the events at interval boundaries (the
+  tenancy component, :mod:`repro.simulation.engine.tenancy`) and runs to
+  the horizon.
 
 Scenario experiments S1..S4 (:mod:`repro.experiments.scenarios`) drive the
 engine end-to-end and are registered alongside the paper experiments.

@@ -15,9 +15,13 @@ from repro.simulation.metrics import (
     compare_runs,
     energy_savings_pct,
 )
-from repro.simulation.rma_sim import RMASimulator, simulate_workload
+from repro.simulation.results_store import ResultsStore, run_key
+from repro.simulation.rma_sim import RMASimulator, simulate_scenario, simulate_workload
 
 __all__ = [
+    "ResultsStore",
+    "run_key",
+    "simulate_scenario",
     "PhaseRecord",
     "SimulationDatabase",
     "build_database",

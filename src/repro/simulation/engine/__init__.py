@@ -1,0 +1,43 @@
+"""Layered RMA simulation kernel.
+
+The monolithic replay loop of the original :mod:`repro.simulation.rma_sim`
+is decomposed into four components with one orchestrator:
+
+* :mod:`~repro.simulation.engine.core_state` -- :class:`CoreRun`, the
+  mutable per-core execution state, plus the advance/charge mechanics;
+* :mod:`~repro.simulation.engine.scheduler` --
+  :class:`CompletionScheduler`, which owns the per-core completion-time
+  computation and caches each core's (record, tpi, epi) triple,
+  invalidating a core's entry only when its allocation, tenancy or phase
+  slice changes instead of re-reading the database grids for every core on
+  every event;
+* :mod:`~repro.simulation.engine.tenancy` -- :class:`TenancyModel`, which
+  owns the pending scenario-event queues and applies swap/depart/slack
+  requests at interval boundaries;
+* :mod:`~repro.simulation.engine.bridge` -- :class:`ManagerBridge`, the
+  narrow manager-facing API (``slack``, ``current_alloc``,
+  ``completed_snapshot``, ``completed_record``, ``upcoming_record``,
+  ``is_active``) that keeps :mod:`repro.core.managers` unchanged;
+* :mod:`~repro.simulation.engine.kernel` -- :class:`SimulationKernel`, the
+  event loop tying the components together.
+
+Every accounting decision is bit-identical to the frozen reference
+implementation in :mod:`repro.simulation.legacy_sim`; the golden
+equivalence suite enforces this.
+"""
+
+from repro.simulation.engine.bridge import ManagerBridge
+from repro.simulation.engine.core_state import CoreRun, advance_core
+from repro.simulation.engine.kernel import MAX_EVENTS, SimulationKernel
+from repro.simulation.engine.scheduler import CompletionScheduler
+from repro.simulation.engine.tenancy import TenancyModel
+
+__all__ = [
+    "CoreRun",
+    "advance_core",
+    "CompletionScheduler",
+    "TenancyModel",
+    "ManagerBridge",
+    "SimulationKernel",
+    "MAX_EVENTS",
+]

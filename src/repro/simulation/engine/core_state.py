@@ -1,0 +1,71 @@
+"""Per-core execution state and the time-advance mechanics.
+
+A :class:`CoreRun` is the complete mutable state of one core replaying its
+application's operational-phase trace: progress through the current
+100 M-instruction interval, pending reconfiguration stall, accrued energy,
+and the first-round / scenario bookkeeping the result accounting reads.
+
+:func:`advance_core` moves one core forward by a wall-clock span using the
+(tpi, epi) scalars the :class:`~repro.simulation.engine.scheduler.
+CompletionScheduler` caches for it.  The arithmetic -- serve pending stall
+first, then retire ``dt / tpi`` instructions and charge their energy -- is
+exactly the reference implementation's, so results stay bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import Allocation
+from repro.simulation.database import PhaseRecord
+
+__all__ = ["CoreRun", "advance_core"]
+
+
+@dataclass
+class CoreRun:
+    """Mutable execution state of one core."""
+
+    core_id: int
+    app: str
+    seq: tuple[int, ...]
+    slack: float
+    alloc: Allocation
+    slice_idx: int = 0
+    instr_done: float = 0.0
+    pending_stall_ns: float = 0.0
+    energy_nj: float = 0.0
+    intervals: int = 0
+    rounds: int = 0
+    interval_start_ns: float = 0.0
+    first_round_time_ns: float | None = None
+    first_round_energy_nj: float | None = None
+    last_snapshot: object = None
+    last_record: PhaseRecord | None = None
+    active: bool = True
+    # Energy accrued up to the start of the in-flight interval; scenario
+    # accounting scores completed intervals only (equal work across managers).
+    energy_interval_start_nj: float = 0.0
+
+    @property
+    def done_first_round(self) -> bool:
+        return self.first_round_time_ns is not None
+
+
+def advance_core(core: CoreRun, dt: float, tpi: float, epi: float) -> None:
+    """Advance ``core`` by ``dt`` ns at the cached ``tpi``/``epi`` rates.
+
+    Pending reconfiguration stall is served before any instructions retire;
+    a core that spends the whole span stalled makes no progress.
+    """
+    if dt <= 0.0 or not core.active:
+        return
+    if core.pending_stall_ns > 0.0:
+        served = min(core.pending_stall_ns, dt)
+        core.pending_stall_ns -= served
+        dt -= served
+        if dt <= 0.0:
+            return
+    instr = dt / tpi
+    core.instr_done += instr
+    core.energy_nj += instr * epi

@@ -1,0 +1,266 @@
+"""The simulation kernel: the event loop over the layered components.
+
+One iteration = one global event = the earliest completion of a
+100 M-instruction interval on any core:
+
+1. the :class:`~repro.simulation.engine.scheduler.CompletionScheduler`
+   names the completing core and the span ``dt`` (cached, incrementally
+   invalidated -- no database lookups for unchanged cores);
+2. every other core advances by ``dt`` (stall served first, then
+   instructions retire and charge energy at the cached rates);
+3. the completing core retires its interval's remaining instructions
+   exactly, records its counter snapshot and interval sample, and moves to
+   the next phase slice;
+4. due scenario requests are applied at this boundary by the
+   :class:`~repro.simulation.engine.tenancy.TenancyModel`;
+5. unless this boundary changed the completing core's tenancy (the
+   completed statistics would describe a departed app), the resource
+   manager is invoked through the
+   :class:`~repro.simulation.engine.bridge.ManagerBridge` and any new
+   system-wide setting is applied with transition overheads.
+
+Accounting is bit-identical to :mod:`repro.simulation.legacy_sim`, the
+frozen pre-refactor reference; the golden equivalence suite enforces it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.config import Allocation, SystemConfig
+from repro.core.managers import ResourceManager
+from repro.scenarios.events import Scenario
+from repro.simulation.database import SimulationDatabase
+from repro.simulation.engine.bridge import ManagerBridge
+from repro.simulation.engine.core_state import CoreRun, advance_core
+from repro.simulation.engine.scheduler import CompletionScheduler
+from repro.simulation.engine.tenancy import TenancyModel
+from repro.simulation.metrics import AppResult, IntervalSample, RunResult
+from repro.simulation.overheads import transition_cost
+from repro.util.validation import require
+from repro.workloads.mixes import Workload
+
+__all__ = ["SimulationKernel", "MAX_EVENTS"]
+
+#: Hard cap on simulated events (runaway-manager guard).
+MAX_EVENTS = 1_000_000
+
+
+class SimulationKernel:
+    """Drives one workload under one resource manager."""
+
+    def __init__(
+        self,
+        system: SystemConfig,
+        db: SimulationDatabase,
+        workload: Workload,
+        manager: ResourceManager,
+        max_slices: int | None = None,
+        collect_interval_samples: bool = True,
+        scenario: Scenario | None = None,
+    ) -> None:
+        require(workload.ncores == system.ncores, "workload size must match core count")
+        for app in workload.apps:
+            require(app in db.records, f"database has no benchmark {app!r}")
+        if scenario is not None:
+            require(scenario.workload == workload,
+                    "scenario workload must match the workload being simulated")
+            for ev in scenario.events:
+                if ev.kind == "swap":
+                    require(ev.app in db.records,
+                            f"database has no benchmark {ev.app!r} (scenario event)")
+        self.system = system
+        self.db = db
+        self.workload = workload
+        self.manager = manager
+        self.collect_interval_samples = collect_interval_samples
+        self.scenario = scenario
+        self.max_slices = max_slices
+        base = system.baseline_allocation()
+        self.cores: list[CoreRun] = []
+        for j, app in enumerate(workload.apps):
+            seq = db.phase_sequence(app)
+            if max_slices is not None:
+                seq = seq[:max_slices]
+            active = scenario.active[j] if scenario is not None else True
+            self.cores.append(
+                CoreRun(core_id=j, app=app, seq=seq, slack=workload.slack[j],
+                        alloc=base, active=active)
+            )
+        self.scheduler = CompletionScheduler(system, db, self.cores)
+        self.tenancy = TenancyModel(
+            system, db, self.cores, self.scheduler, manager, scenario, max_slices
+        )
+        self.bridge = ManagerBridge(self)
+        self.time_ns = 0.0
+        self.total_intervals = 0
+        self.interval_samples: list[IntervalSample] = []
+
+    # ---- manager-facing API (delegated to the bridge) ------------------------
+    def slack(self, core_id: int) -> float:
+        return self.bridge.slack(core_id)
+
+    def current_alloc(self, core_id: int) -> Allocation:
+        return self.bridge.current_alloc(core_id)
+
+    def is_active(self, core_id: int) -> bool:
+        return self.bridge.is_active(core_id)
+
+    def completed_snapshot(self, core_id: int):
+        return self.bridge.completed_snapshot(core_id)
+
+    def completed_record(self, core_id: int):
+        return self.bridge.completed_record(core_id)
+
+    def upcoming_record(self, core_id: int):
+        return self.bridge.upcoming_record(core_id)
+
+    # ---- internals -----------------------------------------------------------
+    def _complete_interval(self, core: CoreRun) -> None:
+        rec = self.scheduler.record(core.core_id)
+        core.instr_done = 0.0
+        core.intervals += 1
+        core.last_record = rec
+        core.last_snapshot = self.scheduler.observe(core.core_id)
+
+        if self.collect_interval_samples and (self.scenario is not None or core.rounds == 0):
+            duration = self.time_ns - core.interval_start_ns
+            # Baseline interval time under *this* system's QoS anchor (the
+            # anchor may differ from the database's nominal, e.g. in the
+            # baseline-VF sensitivity experiment); memoised per phase record.
+            baseline_ns = self.scheduler.baseline_interval_ns(core.core_id)
+            self.interval_samples.append(
+                IntervalSample(
+                    core=core.core_id,
+                    phase_key=core.seq[core.slice_idx],
+                    duration_ns=duration,
+                    baseline_ns=baseline_ns,
+                    slack=core.slack,
+                )
+            )
+        core.interval_start_ns = self.time_ns
+        core.energy_interval_start_nj = core.energy_nj
+
+        core.slice_idx += 1
+        if core.slice_idx >= len(core.seq):
+            if core.rounds == 0:
+                core.first_round_time_ns = self.time_ns
+                core.first_round_energy_nj = core.energy_nj
+            core.rounds += 1
+            core.slice_idx = 0
+        self.scheduler.invalidate(core.core_id)
+
+    def _apply(self, allocations: dict[int, Allocation]) -> None:
+        system = self.system
+        total = sum(a.ways for a in allocations.values())
+        missing = [c for c in self.cores if c.core_id not in allocations]
+        total += sum(c.alloc.ways for c in missing)
+        require(
+            total == system.llc.ways,
+            f"manager allocated {total} ways, LLC has {system.llc.ways}",
+        )
+        for j, new in allocations.items():
+            core = self.cores[j]
+            if new == core.alloc:
+                continue
+            if not core.active:
+                # Reconfiguring an idle (power-gated) core is free: there is
+                # nothing to stall and nothing executing to charge.
+                core.alloc = new
+                self.scheduler.invalidate(j)
+                continue
+            cost = transition_cost(system, core.alloc, new)
+            core.pending_stall_ns += cost.stall_ns
+            core.energy_nj += cost.energy_nj
+            core.alloc = new
+            self.scheduler.invalidate(j)
+
+    def _finished(self) -> bool:
+        if self.scenario is not None:
+            return self.total_intervals >= self.scenario.horizon_intervals
+        return all(c.done_first_round for c in self.cores)
+
+    def run(self) -> RunResult:
+        t0 = time.perf_counter()
+        self.manager.attach(self.bridge)
+        scheduler = self.scheduler
+        tenancy = self.tenancy
+        cores = self.cores
+        interval_instr = self.system.interval_instructions
+        events = 0
+        while not self._finished():
+            events += 1
+            require(events <= MAX_EVENTS, "event cap exceeded (manager thrashing?)")
+            if self.scenario is not None and not any(c.active for c in cores):
+                # Every core idles: jump to the next pending request (which
+                # must exist, or the scenario can never reach its horizon).
+                head = tenancy.next_pending_ns()
+                require(head != float("inf"),
+                        "all cores idle with no pending scenario events")
+                self.time_ns = max(self.time_ns, head)
+                tenancy.apply_due(self.time_ns, completed_core=None)
+                continue
+            j, dt = scheduler.next_completion()
+            for core in cores:
+                if core.core_id == j:
+                    # Exact completion: retire the interval's remaining
+                    # instructions and charge their energy directly.
+                    left = interval_instr - core.instr_done
+                    core.energy_nj += left * scheduler.epi(j)
+                    core.pending_stall_ns = 0.0
+                elif core.active:
+                    advance_core(core, dt, scheduler.tpi(core.core_id),
+                                 scheduler.epi(core.core_id))
+            self.time_ns += dt
+            core = cores[j]
+            self._complete_interval(core)
+            self.total_intervals += 1
+            invoke_manager = True
+            if self.scenario is not None:
+                # If this boundary swapped or departed the tenant, the
+                # completed-interval statistics belong to the departed app;
+                # skip the invocation rather than optimise for a ghost.
+                invoke_manager = not tenancy.apply_due(self.time_ns, completed_core=j)
+            if invoke_manager:
+                new_allocs = self.manager.on_interval(j)
+                if new_allocs:
+                    self._apply(new_allocs)
+
+        if self.scenario is not None:
+            # Score completed intervals only: energy accrued by in-flight
+            # partial intervals at the horizon differs between managers and
+            # would bias the equal-work comparison.
+            apps = [
+                AppResult(
+                    app=c.app,
+                    core=c.core_id,
+                    time_ns=self.time_ns,
+                    energy_nj=c.energy_interval_start_nj,
+                    intervals=c.intervals,
+                    slack=c.slack,
+                )
+                for c in cores
+            ]
+            run_name = self.scenario.name
+        else:
+            apps = [
+                AppResult(
+                    app=c.app,
+                    core=c.core_id,
+                    time_ns=float(c.first_round_time_ns),
+                    energy_nj=float(c.first_round_energy_nj),
+                    intervals=len(c.seq),
+                    slack=c.slack,
+                )
+                for c in cores
+            ]
+            run_name = self.workload.name
+        return RunResult(
+            workload=run_name,
+            manager=self.manager.name,
+            apps=apps,
+            interval_samples=self.interval_samples,
+            rma_invocations=self.manager.meter.invocations,
+            rma_instructions=self.manager.meter.instructions,
+            sim_wall_s=time.perf_counter() - t0,
+        )

@@ -1,0 +1,113 @@
+"""Tenancy and scenario-event application.
+
+Owns the per-core pending-event queues of a dynamic
+:class:`~repro.scenarios.events.Scenario` and applies the requests --
+``swap`` / ``depart`` / ``slack`` -- under the boundary discipline the
+scenario engine documents: a busy core picks requests up only at its own
+interval boundary; an idle core (which has no boundaries) picks them up at
+any global event.
+
+Every applied event invalidates the core's entry in the
+:class:`~repro.simulation.engine.scheduler.CompletionScheduler`: swaps and
+departures change tenancy, allocation-independent slack changes are
+invalidated too so the cached view is never stale relative to the core
+state (the recomputation is a no-op numerically).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.simulation.engine.core_state import CoreRun
+from repro.simulation.engine.scheduler import CompletionScheduler
+from repro.simulation.overheads import WARMUP_MLP
+
+__all__ = ["TenancyModel"]
+
+
+class TenancyModel:
+    """Pending scenario requests plus their application to core state."""
+
+    def __init__(
+        self,
+        system,
+        db,
+        cores: list[CoreRun],
+        scheduler: CompletionScheduler,
+        manager,
+        scenario: Scenario | None,
+        max_slices: int | None,
+    ) -> None:
+        self.system = system
+        self.db = db
+        self.cores = cores
+        self.scheduler = scheduler
+        self.manager = manager
+        self.scenario = scenario
+        self.max_slices = max_slices
+        self.pending: list[deque[ScenarioEvent]] = [
+            deque(scenario.events_for(j)) if scenario is not None else deque()
+            for j in range(system.ncores)
+        ]
+
+    def next_pending_ns(self) -> float:
+        """Earliest pending request time, ``inf`` if none remain."""
+        heads = [q[0].time_ns for q in self.pending if q]
+        return min(heads) if heads else math.inf
+
+    def apply_event(self, core: CoreRun, ev: ScenarioEvent, now: float) -> None:
+        """Apply one request to ``core`` at wall-clock ``now``."""
+        if ev.kind == "slack":
+            core.slack = float(ev.slack)
+            self.scheduler.invalidate(core.core_id)
+            return
+        if ev.kind == "depart":
+            core.active = False
+            core.instr_done = 0.0
+            core.pending_stall_ns = 0.0
+            core.last_record = None
+            core.last_snapshot = None
+            self.scheduler.invalidate(core.core_id)
+            self.manager.on_scenario_event(core.core_id, "depart")
+            return
+        # swap: the new tenant restarts its phase trace on this core.
+        seq = self.db.phase_sequence(ev.app)
+        if self.max_slices is not None:
+            seq = seq[: self.max_slices]
+        core.app = ev.app
+        core.seq = seq
+        core.slice_idx = 0
+        core.instr_done = 0.0
+        core.rounds = 0
+        core.active = True
+        core.interval_start_ns = now
+        core.energy_interval_start_nj = core.energy_nj
+        core.last_record = None
+        core.last_snapshot = None
+        # Cold-start: the incoming tenant warms its entire partition.
+        misses = self.system.overheads.warmup_extra_misses(core.alloc.ways)
+        core.pending_stall_ns += misses * self.system.mem.latency_ns / WARMUP_MLP
+        core.energy_nj += misses * self.system.mem.energy_per_access_nj
+        self.scheduler.invalidate(core.core_id)
+        self.manager.on_scenario_event(core.core_id, "swap")
+
+    def apply_due(self, now: float, completed_core: int | None) -> bool:
+        """Apply every due request; True if ``completed_core`` changed tenancy.
+
+        A busy core only picks up requests at its own interval boundary
+        (``completed_core``); idle cores, which have no boundaries, pick
+        theirs up at any global event.
+        """
+        tenancy_changed = False
+        for k, queue in enumerate(self.pending):
+            core = self.cores[k]
+            while queue and queue[0].time_ns <= now and (
+                k == completed_core or not core.active
+            ):
+                ev = queue.popleft()
+                self.apply_event(core, ev, now)
+                if k == completed_core and ev.kind in ("swap", "depart"):
+                    tenancy_changed = True
+        return tenancy_changed

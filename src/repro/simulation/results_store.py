@@ -1,0 +1,143 @@
+"""Persistent run-results store.
+
+The paper's framework already amortises *detailed simulation* into one
+on-disk database; this module does the same for the *replay* step.  A
+finished :class:`~repro.simulation.metrics.RunResult` is a pure function of
+
+* the simulation database (itself keyed by system configuration, benchmark
+  set, trace density and ``DB_FORMAT_VERSION``),
+* the workload or scenario being replayed (including slack vectors, event
+  streams, horizon and starting tenancy),
+* the manager specification (:class:`~repro.experiments.runner.ManagerSpec`),
+* the trace-truncation fidelity knob (``max_slices``),
+
+so :func:`run_key` hashes exactly those inputs and :class:`ResultsStore`
+pickles results under ``<cache_dir>/results/`` next to the simulation
+database.  Repeated experiment and benchmark invocations then skip replay
+entirely and load bit-identical results from disk.
+
+Invalidation: bump :data:`RESULTS_FORMAT_VERSION` whenever replay
+accounting changes (the database's own ``DB_FORMAT_VERSION`` already covers
+model/database changes), or delete ``<cache_dir>/results/``; the
+``--no-result-cache`` CLI flag and ``REPRO_NO_RESULT_CACHE=1`` bypass the
+store without touching it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+
+from repro.scenarios.events import Scenario, ScenarioEvent
+from repro.simulation.database import SimulationDatabase, _config_digest
+from repro.simulation.metrics import RunResult
+from repro.workloads.mixes import Workload
+
+__all__ = ["ResultsStore", "run_key", "database_digest", "RESULTS_FORMAT_VERSION"]
+
+#: Bump to invalidate stored run results when replay accounting changes.
+RESULTS_FORMAT_VERSION = 1
+
+
+def database_digest(db: SimulationDatabase) -> str:
+    """Content digest of the database a run replays against.
+
+    Reuses the database's own cache key (system geometry, benchmark set,
+    trace density, ``DB_FORMAT_VERSION``), so anything that would rebuild
+    the database also invalidates every run keyed against it.
+    """
+    accesses_per_set = int(db.build_params.get("accesses_per_set", 0))
+    return _config_digest(db.system, tuple(sorted(db.records)), accesses_per_set)
+
+
+def _workload_token(wl: Workload) -> str:
+    return "wl;{};{};{};{}".format(
+        wl.name, ",".join(wl.apps), ",".join(repr(s) for s in wl.slack), wl.tag
+    )
+
+
+def _event_token(ev: ScenarioEvent) -> str:
+    return f"{ev.kind}@{ev.time_ns!r}>{ev.core}:{ev.app}:{ev.slack!r}"
+
+
+def _scenario_token(sc: Scenario) -> str:
+    return "sc;{};{};h{};a{};[{}]".format(
+        sc.name,
+        _workload_token(sc.workload),
+        sc.horizon_intervals,
+        ",".join("1" if a else "0" for a in sc.active),
+        "|".join(_event_token(ev) for ev in sc.events),
+    )
+
+
+def run_key(
+    system,
+    db: SimulationDatabase,
+    item: Workload | Scenario,
+    spec,
+    max_slices: int | None,
+) -> str:
+    """Content hash identifying one (system, database, workload/scenario,
+    manager, fidelity) replay.
+
+    ``system`` is the *replay* platform, hashed in full: it usually equals
+    the database's build platform, but replay-only fields -- the QoS anchor
+    (``qos_baseline_ghz``), transition-overhead constants, interval length
+    -- change results without changing the database (E7 moves the anchor
+    against one database), so the database digest alone is not enough.
+    ``spec`` is any object with a stable, complete ``repr`` -- in practice
+    a frozen ``ManagerSpec`` dataclass."""
+    token = _scenario_token(item) if isinstance(item, Scenario) else _workload_token(item)
+    parts = [
+        f"rv{RESULTS_FORMAT_VERSION}",
+        database_digest(db),
+        repr(system),
+        token,
+        repr(spec),
+        f"ms{max_slices}",
+    ]
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:24]
+
+
+class ResultsStore:
+    """One directory of pickled :class:`RunResult`s, one file per run key.
+
+    Reads tolerate missing or corrupt files (treated as misses); writes are
+    atomic (tmp + rename), so concurrent experiment processes sharing one
+    cache directory can only ever observe complete results.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"run_{key}.pkl")
+
+    def get(self, key: str) -> RunResult | None:
+        try:
+            with open(self.path(key), "rb") as fh:
+                result = pickle.load(fh)
+        # Unpickling a truncated/corrupt/version-skewed file can raise far
+        # more than UnpicklingError (EOFError, OverflowError, ValueError,
+        # ImportError/AttributeError on renamed classes, ...); any failure
+        # to load is a cache miss, never a crash.
+        except Exception:
+            self.misses += 1
+            return None
+        if not isinstance(result, RunResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        tmp = self.path(key) + f".tmp{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            pickle.dump(result, fh)
+        os.replace(tmp, self.path(key))
+        self.puts += 1

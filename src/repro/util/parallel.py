@@ -37,17 +37,31 @@ def parallel_map(
     items: Iterable[T],
     processes: int | None = None,
     chunksize: int = 1,
+    initializer: Callable[..., None] | None = None,
+    initargs: tuple = (),
+    start_method: str | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
     Falls back to a plain comprehension when only one worker is requested or
     there are fewer than two items, so small inputs never pay fork overhead.
+
+    ``initializer(*initargs)`` runs once per worker before any items are
+    processed -- *and* once in-process on the serial fallback path, so
+    worker-global state (e.g. the experiment context) is populated the same
+    way regardless of how the map executes.  Under the ``spawn`` start
+    method workers inherit nothing, so any such state **must** come through
+    the initializer; ``start_method`` forces a specific method (tests use
+    ``"spawn"`` to exercise exactly that path).
     """
     seq: Sequence[T] = list(items)
     nproc = default_processes() if processes is None else max(1, processes)
     nproc = min(nproc, len(seq)) if seq else 1
     if nproc <= 1 or len(seq) < 2:
+        if initializer is not None:
+            initializer(*initargs)
         return [fn(item) for item in seq]
-    ctx = mp.get_context("fork" if hasattr(os, "fork") else "spawn")
-    with ctx.Pool(processes=nproc) as pool:
+    method = start_method or ("fork" if hasattr(os, "fork") else "spawn")
+    ctx = mp.get_context(method)
+    with ctx.Pool(processes=nproc, initializer=initializer, initargs=initargs) as pool:
         return pool.map(fn, seq, chunksize=chunksize)

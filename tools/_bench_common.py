@@ -1,0 +1,39 @@
+"""Shared plumbing for the ``tools/bench_*.py`` benchmark scripts.
+
+One place for the small-suite benchmark subset (the test suite's seven
+apps, chosen so tool runs reuse the tier-1 ``.sim_cache`` database), the
+artifact directory, and the ``BENCH_*.json`` writer, so the scripts cannot
+drift apart on either the app set or the artifact schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+#: The test suite's benchmark subset: all four Paper I categories and all
+#: four Paper II types, small enough to build fast.
+BENCHMARK_SUBSET = [
+    "mcf_like", "soplex_like", "libquantum_like", "lbm_like",
+    "astar_like", "povray_like", "namd_like",
+]
+
+ARTIFACT_DIR = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "benchmarks", "_artifacts")
+)
+
+
+def add_src_to_path() -> None:
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def write_bench_artifact(name: str, report: dict) -> str:
+    """Write ``report`` to ``benchmarks/_artifacts/BENCH_<name>.json``."""
+    os.makedirs(ARTIFACT_DIR, exist_ok=True)
+    path = os.path.join(ARTIFACT_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return path

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Benchmark: incremental engine vs the frozen full-rescan reference.
+
+Replays the same 8-core dynamic scenario through the layered kernel
+(:mod:`repro.simulation.engine`) and the pre-refactor monolithic loop
+(:mod:`repro.simulation.legacy_sim`), verifies the results are
+bit-identical, and records wall-clock plus speedup into
+``benchmarks/_artifacts/BENCH_engine_speedup.json`` so the perf trajectory
+is tracked as an artefact per commit.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_engine_speedup.py \
+        [--ncores 8] [--horizon 512] [--max-slices 24] [--repeats 3]
+
+The database is a small fixed benchmark subset (the test suite's seven
+apps), so on a machine that has run the tests the build step is served from
+``.sim_cache`` instantly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_common import (  # noqa: E402
+    BENCHMARK_SUBSET,
+    add_src_to_path,
+    write_bench_artifact,
+)
+
+# Small-suite database at the test suite's trace density: reuses the test
+# cache when present.  Must be set before repro.experiments.runner imports.
+os.environ.setdefault("REPRO_ACCESSES_PER_SET", "400")
+add_src_to_path()
+
+from repro.core.managers import StaticBaselineManager, rm2_combined  # noqa: E402
+from repro.experiments.runner import get_context  # noqa: E402
+from repro.scenarios import poisson_arrivals  # noqa: E402
+from repro.simulation.legacy_sim import LegacyRMASimulator  # noqa: E402
+from repro.simulation.rma_sim import RMASimulator  # noqa: E402
+
+
+def _time_run(make_sim, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall-clock for one simulator construction + run."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = make_sim().run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ncores", type=int, default=8)
+    parser.add_argument("--horizon", type=int, default=512,
+                        help="scenario horizon in intervals (total work)")
+    parser.add_argument("--max-slices", type=int, default=24)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    ctx = get_context(args.ncores, names=BENCHMARK_SUBSET)
+    scenario = poisson_arrivals(
+        f"bench-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
+        rate_per_interval=0.25, horizon_intervals=args.horizon, seed=args.seed,
+    )
+
+    managers = {"baseline": StaticBaselineManager, "rm2-combined": rm2_combined}
+    report: dict = {
+        "benchmark": "engine_speedup",
+        "ncores": args.ncores,
+        "horizon_intervals": args.horizon,
+        "max_slices": args.max_slices,
+        "accesses_per_set": int(os.environ["REPRO_ACCESSES_PER_SET"]),
+        "repeats": args.repeats,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "managers": {},
+    }
+    identical = True
+    for name, factory in managers.items():
+        legacy_s, legacy_run = _time_run(
+            lambda: LegacyRMASimulator(ctx.system, ctx.db, scenario.workload,
+                                       factory(), max_slices=args.max_slices,
+                                       scenario=scenario),
+            args.repeats,
+        )
+        engine_s, engine_run = _time_run(
+            lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
+                                 factory(), max_slices=args.max_slices,
+                                 scenario=scenario),
+            args.repeats,
+        )
+        same = (
+            legacy_run.total_energy_nj == engine_run.total_energy_nj
+            and legacy_run.max_time_ns == engine_run.max_time_ns
+            and len(legacy_run.interval_samples) == len(engine_run.interval_samples)
+            and all(a == b for a, b in zip(legacy_run.interval_samples,
+                                           engine_run.interval_samples))
+        )
+        identical = identical and same
+        report["managers"][name] = {
+            "legacy_s": round(legacy_s, 4),
+            "engine_s": round(engine_s, 4),
+            "speedup": round(legacy_s / engine_s, 3),
+            "bit_identical": same,
+        }
+        print(f"{name:14s} legacy {legacy_s:7.3f}s  engine {engine_s:7.3f}s  "
+              f"speedup {legacy_s / engine_s:5.2f}x  bit-identical={same}")
+    report["bit_identical"] = identical
+
+    write_bench_artifact("engine_speedup", report)
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

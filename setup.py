@@ -1,7 +1,8 @@
 """Shim for environments without the `wheel` package (offline editable install).
 
 `pip install -e . --no-build-isolation --no-use-pep517` uses this legacy path;
-all metadata lives in pyproject.toml.
+all metadata -- including the dependency lists CI installs via
+`pip install -r requirements.txt` -- lives in pyproject.toml.
 """
 
 from setuptools import setup

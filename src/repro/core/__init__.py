@@ -9,11 +9,12 @@ counters + ATD -> performance model -> QoS pruning (local optimisation)
 
 from repro.core.curves import EnergyCurve
 from repro.core.models import Model1, Model2, Model3, MLP_MODELS
-from repro.core.perf_model import predict_tpi_grid
-from repro.core.energy_model import predict_epi_grid
+from repro.core.perf_model import predict_tpi_grid, predict_tpi_grid_batch
+from repro.core.energy_model import predict_epi_grid, predict_epi_grid_batch
 from repro.core.qos import qos_target_tpi
-from repro.core.local_opt import DimSpec, local_optimize
-from repro.core.global_opt import global_optimize
+from repro.core.local_opt import DimSpec, local_optimize, local_optimize_batch
+from repro.core.global_opt import ReductionTree, global_optimize
+from repro.core.batch_opt import analytical_curves_batch, oracle_curves_batch
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.managers import (
     ResourceManager,
@@ -35,11 +36,17 @@ __all__ = [
     "Model3",
     "MLP_MODELS",
     "predict_tpi_grid",
+    "predict_tpi_grid_batch",
     "predict_epi_grid",
+    "predict_epi_grid_batch",
     "qos_target_tpi",
     "DimSpec",
     "local_optimize",
+    "local_optimize_batch",
     "global_optimize",
+    "ReductionTree",
+    "analytical_curves_batch",
+    "oracle_curves_batch",
     "OverheadMeter",
     "ResourceManager",
     "StaticBaselineManager",

@@ -1,0 +1,129 @@
+"""Batched curve construction: the coordinated manager's hot path.
+
+The per-invocation cost of :class:`~repro.core.managers.CoordinatedManager`
+is dominated by Python-level fan-out: one ``predict_tpi_grid`` /
+``predict_epi_grid`` / ``local_optimize`` chain per managed core.  This
+module stacks all cores' counter snapshots and ATD miss curves into
+``(N, C, F, W)`` tensors and produces every per-core
+:class:`~repro.core.curves.EnergyCurve` in one vectorised pass.
+
+Bit-identity contract: every batched function mirrors its per-core
+counterpart's elementwise expressions and argmin ordering exactly (the
+batch axis is purely a leading dimension), so each produced curve -- and
+every metered grid-point charge -- equals the ``N``-invocation loop with
+``==`` on every number.  ``tests/test_batch_opt.py`` enforces this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.curves import EnergyCurve
+from repro.core.energy_model import predict_epi_grid_batch
+from repro.core.local_opt import DimSpec, local_optimize_batch
+from repro.core.overhead_meter import OverheadMeter
+from repro.core.perf_model import predict_tpi_grid_batch
+from repro.core.qos import qos_target_tpi
+from repro.util.validation import require
+
+__all__ = [
+    "stack_mlp_hats",
+    "qos_targets_from_grids",
+    "analytical_curves_batch",
+    "oracle_curves_batch",
+]
+
+
+def stack_mlp_hats(
+    system: SystemConfig,
+    model,
+    snapshots: list,
+    mlp_sampled: list,
+) -> np.ndarray:
+    """``(N, C, W)`` MLP estimates: the model's per-core outputs, stacked.
+
+    Model evaluation itself is cheap (a fill or a cast); stacking keeps the
+    exact per-core arrays so downstream slices stay bit-identical.
+    """
+    return np.stack(
+        [model.mlp_hat(system, s, m) for s, m in zip(snapshots, mlp_sampled)]
+    )
+
+
+def qos_targets_from_grids(
+    system: SystemConfig,
+    tpi_batch: np.ndarray,
+    slacks: list[float],
+) -> np.ndarray:
+    """Per-core QoS target TPIs from stacked prediction grids.
+
+    Each target is computed with the scalar :func:`qos_target_tpi`
+    expression over the core's own slice, preserving the exact float
+    arithmetic of the per-core path.
+    """
+    return np.array(
+        [
+            qos_target_tpi(system, tpi_batch[i], slack)
+            for i, slack in enumerate(slacks)
+        ]
+    )
+
+
+def analytical_curves_batch(
+    system: SystemConfig,
+    model,
+    core_ids: list[int],
+    snapshots: list,
+    mpki_sampled: list,
+    mlp_sampled: list,
+    slacks: list[float],
+    dims: DimSpec,
+    meter: OverheadMeter | None = None,
+    pin_ways_per_core: list[int] | None = None,
+) -> list[EnergyCurve]:
+    """Analytical-model curves for ``N`` cores in one vectorised pass.
+
+    The batched equivalent of ``CoordinatedManager._analytical_curve``
+    applied to every core: counter snapshots and sampled ATD miss curves in,
+    QoS-pruned energy curves out.  ``pin_ways_per_core`` restricts each core
+    to a fixed partition (the uncoordinated UCP+DVFS manager's protocol).
+    """
+    require(
+        len(core_ids) == len(snapshots) == len(mpki_sampled) == len(mlp_sampled) == len(slacks),
+        "batched inputs must be parallel lists",
+    )
+    mpki_batch = np.stack([np.asarray(m, dtype=float) for m in mpki_sampled])
+    mlp_batch = stack_mlp_hats(system, model, snapshots, mlp_sampled)
+    tpi_batch = predict_tpi_grid_batch(system, snapshots, mpki_batch, mlp_batch)
+    epi_batch = predict_epi_grid_batch(system, snapshots, mpki_batch, tpi_batch)
+    targets = qos_targets_from_grids(system, tpi_batch, slacks)
+    return local_optimize_batch(
+        system, core_ids, tpi_batch, epi_batch, targets, dims, meter,
+        pin_ways_per_core=pin_ways_per_core,
+    )
+
+
+def oracle_curves_batch(
+    system: SystemConfig,
+    core_ids: list[int],
+    records: list,
+    slacks: list[float],
+    dims: DimSpec,
+    meter: OverheadMeter | None = None,
+) -> list[EnergyCurve]:
+    """Oracle ("perfect models") curves for ``N`` cores in one pass.
+
+    The oracle path reads each core's *upcoming* record's exact ``(C, F, W)``
+    grids, so batching is a stack plus one ``local_optimize_batch`` call.
+    """
+    require(
+        len(core_ids) == len(records) == len(slacks),
+        "batched inputs must be parallel lists",
+    )
+    tpi_batch = np.stack([np.asarray(r.tpi, dtype=float) for r in records])
+    epi_batch = np.stack([np.asarray(r.epi, dtype=float) for r in records])
+    targets = qos_targets_from_grids(system, tpi_batch, slacks)
+    return local_optimize_batch(
+        system, core_ids, tpi_batch, epi_batch, targets, dims, meter
+    )

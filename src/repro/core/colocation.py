@@ -27,7 +27,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.config import SystemConfig
 from repro.simulation.database import SimulationDatabase

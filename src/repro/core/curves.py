@@ -44,6 +44,22 @@ class EnergyCurve:
     def is_feasible(self) -> bool:
         return bool(np.any(np.isfinite(self.epi)))
 
+    def same_curve(self, other: "EnergyCurve") -> bool:
+        """True when ``other`` is numerically this curve (``==`` per entry).
+
+        The persistent reduction tree uses this to decide whether a leaf can
+        keep its combined subtrees: curves that compare equal here are fully
+        interchangeable in the global optimisation, argmin ties included.
+        """
+        if self is other:
+            return True
+        return (
+            self.core_id == other.core_id
+            and np.array_equal(self.epi, other.epi)
+            and np.array_equal(self.freq_idx, other.freq_idx)
+            and np.array_equal(self.core_idx, other.core_idx)
+        )
+
     def setting_at(self, ways: int) -> tuple[int, int, int]:
         """(core_idx, freq_idx, ways) chosen at allocation ``ways``."""
         require(np.isfinite(self.epi[ways - 1]), f"ways={ways} is infeasible")

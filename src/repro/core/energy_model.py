@@ -15,7 +15,7 @@ from repro.config import SystemConfig
 from repro.cpu.counters import CounterSnapshot
 from repro.cpu.dvfs import voltage_ratio, voltage_ratio_sq
 
-__all__ = ["predict_epi_grid"]
+__all__ = ["predict_epi_grid", "predict_epi_grid_batch"]
 
 
 def predict_epi_grid(
@@ -44,5 +44,50 @@ def predict_epi_grid(
     dram = (
         system.mem.energy_per_access_nj * mpi[None, None, :]
         + (system.mem.background_power_w / system.ncores) * tpi_hat
+    )
+    return core_dyn + core_static + llc + dram
+
+
+def predict_epi_grid_batch(
+    system: SystemConfig,
+    snapshots: list[CounterSnapshot],
+    mpki_batch: np.ndarray,
+    tpi_batch: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`predict_epi_grid`: ``EPI[n, c, f, w]`` for ``N`` cores.
+
+    Mirrors the per-core expressions term by term with a leading batch axis,
+    so every ``[n]`` slice is bit-identical to the scalar call.
+    """
+    freqs = system.vf.freqs_array()
+    vr = voltage_ratio(system.vf, freqs)
+    vr2 = voltage_ratio_sq(system.vf, freqs)
+    epi_factors = np.array([c.epi_factor for c in system.core_sizes])
+    leak_factors = np.array([c.leak_factor for c in system.core_sizes])
+    ways = np.arange(1, mpki_batch.shape[1] + 1, dtype=float)
+    mpi = np.asarray(mpki_batch, dtype=float) / 1000.0               # (N, W)
+    epi_dyn = np.array([s.epi_dyn_est_nj for s in snapshots])
+    api = np.array([s.llc_accesses for s in snapshots]) / np.array(
+        [s.instructions for s in snapshots]
+    )
+
+    core_dyn = (
+        epi_dyn[:, None, None, None]
+        * epi_factors[None, :, None, None]
+        * vr2[None, None, :, None]
+    )
+    leak_w = (
+        system.core_leak_w
+        * leak_factors[None, :, None, None]
+        * vr[None, None, :, None]
+    )
+    core_static = leak_w * tpi_batch
+    llc = (
+        (system.llc_access_energy_nj * api)[:, None, None, None]
+        + system.llc_way_static_w * ways[None, None, None, :] * tpi_batch
+    )
+    dram = (
+        system.mem.energy_per_access_nj * mpi[:, None, None, :]
+        + (system.mem.background_power_w / system.ncores) * tpi_batch
     )
     return core_dyn + core_static + llc + dram

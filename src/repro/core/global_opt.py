@@ -12,6 +12,15 @@ keeping the argmin split for back-tracking.  Reducing pairs in a binary tree
 gives the exact optimum (the objective is separable) in
 ``O(ncores * ways^2)`` -- the "polynomial time" heuristic the paper claims,
 and the tests verify optimality against brute-force enumeration.
+
+:func:`global_optimize` rebuilds the reduction from scratch each call.
+:class:`ReductionTree` keeps the same binary tree *persistent* across
+manager invocations: when only one leaf curve changed since the last solve
+(the common case -- one interval boundary fires at a time) only the
+``O(log N)`` nodes on its root path are re-combined, while the untouched
+subtrees keep their arrays.  Both produce bit-identical assignments, and the
+tree re-charges the cached DP-cell counts of skipped nodes so the metered
+RMA overhead (the *modelled* hardware cost) is bit-identical too.
 """
 
 from __future__ import annotations
@@ -24,7 +33,7 @@ from repro.core.curves import EnergyCurve
 from repro.core.overhead_meter import OverheadMeter
 from repro.util.validation import require
 
-__all__ = ["global_optimize"]
+__all__ = ["global_optimize", "ReductionTree"]
 
 
 @dataclass
@@ -38,6 +47,7 @@ class _Node:
     left: "_Node | None" = None
     right: "_Node | None" = None
     split: np.ndarray | None = None       # ways given to the left child per s
+    dp_cells: int = 0                     # DP work a from-scratch combine does
 
 
 def _leaf(curve: EnergyCurve, min_ways: int) -> _Node:
@@ -70,12 +80,13 @@ def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node
     ks = np.arange(nk)
     epi = totals[ks, m]
     split = a.min_ways + ks + m - (nb - 1)
+    # DP work actually required per s: the in-range (sl, s - sl) pairs.
+    cells = int(np.minimum.reduce([ks + 1, np.full(nk, na), np.full(nk, nb),
+                                   na + nb - 1 - ks]).sum())
     if meter is not None:
-        # DP work actually required per s: the in-range (sl, s - sl) pairs.
-        cells = np.minimum.reduce([ks + 1, np.full(nk, na), np.full(nk, nb),
-                                   na + nb - 1 - ks])
-        meter.charge_dp(int(cells.sum()))
-    return _Node(min_ways=lo, max_ways=hi, epi=epi, left=a, right=b, split=split)
+        meter.charge_dp(cells)
+    return _Node(min_ways=lo, max_ways=hi, epi=epi, left=a, right=b, split=split,
+                 dp_cells=cells)
 
 
 def _assign(node: _Node, s: int, out: dict[int, tuple[int, int, int]]) -> None:
@@ -111,8 +122,12 @@ def global_optimize(
         if len(nodes) % 2:
             nxt.append(nodes[-1])
         nodes = nxt
-    root = nodes[0]
-    if len(curves) == 1:
+    return _select(nodes[0], len(curves), total_ways)
+
+
+def _select(root: _Node, nleaves: int, total_ways: int) -> dict[int, tuple[int, int, int]] | None:
+    """Pick the root's way total and back-track the per-core assignment."""
+    if nleaves == 1:
         # Single core owns the whole cache.
         s = min(total_ways, root.max_ways)
     else:
@@ -124,3 +139,93 @@ def global_optimize(
     out: dict[int, tuple[int, int, int]] = {}
     _assign(root, s, out)
     return out
+
+
+class ReductionTree:
+    """Persistent min-plus reduction tree over one energy curve per core.
+
+    Mirrors :func:`global_optimize`'s pairing order exactly -- leaves in core
+    order, adjacent pairs combined level by level, an odd trailing node
+    carried up unchanged -- so assignments (including argmin tie-breaking)
+    are bit-identical to a from-scratch rebuild over the same leaf curves.
+
+    ``set_leaf`` marks a leaf dirty only when its curve actually changed
+    (object identity first, then array equality), ``invalidate`` forces a
+    leaf dirty (scenario swap/depart/arrive splices), and ``solve``
+    re-combines only the dirty root paths.  Skipped combine nodes re-charge
+    their cached DP-cell counts, keeping the metered RMA overhead identical
+    to the from-scratch path: the meter models the cost of the paper's
+    *on-line algorithm*, which always reduces all ``N - 1`` pairs, while the
+    tree is a simulator-side optimisation that must not change any result.
+    """
+
+    def __init__(self, ncores: int, total_ways: int, min_ways: int = 1) -> None:
+        require(ncores >= 1, "need at least one leaf")
+        require(
+            total_ways >= ncores * min_ways,
+            "associativity cannot satisfy the per-core minimum",
+        )
+        self.ncores = ncores
+        self.total_ways = total_ways
+        self.min_ways = min_ways
+        self._curves: list[EnergyCurve | None] = [None] * ncores
+        # Level 0 holds the leaves; level L+1 pairs level L's slots in order.
+        # An entry (a, b) combines two slots; (a, None) passes slot a through.
+        self._slots: list[list[tuple[int, int | None]]] = []
+        width = ncores
+        while width > 1:
+            level: list[tuple[int, int | None]] = [
+                (i, i + 1) for i in range(0, width - 1, 2)
+            ]
+            if width % 2:
+                level.append((width - 1, None))
+            self._slots.append(level)
+            width = len(level)
+        self._nodes: list[list[_Node | None]] = [[None] * ncores] + [
+            [None] * len(level) for level in self._slots
+        ]
+        self._dirty: list[list[bool]] = [[True] * len(row) for row in self._nodes]
+
+    def invalidate(self, core_id: int) -> None:
+        """Force the leaf dirty (the tenant behind it was spliced in/out)."""
+        self._dirty[0][core_id] = True
+
+    def set_leaf(self, core_id: int, curve: EnergyCurve) -> None:
+        """Install a leaf curve, marking it dirty only if it changed."""
+        prev = self._curves[core_id]
+        if not self._dirty[0][core_id] and prev is not None:
+            if prev is curve or prev.same_curve(curve):
+                self._curves[core_id] = curve
+                return
+        self._curves[core_id] = curve
+        self._nodes[0][core_id] = _leaf(curve, self.min_ways)
+        self._dirty[0][core_id] = True
+
+    def solve(self, meter: OverheadMeter | None = None) -> dict[int, tuple[int, int, int]] | None:
+        """Optimal assignment over the current leaves (or None if infeasible).
+
+        Bit-identical to ``global_optimize(curves, total_ways, min_ways,
+        meter)`` over the same curves, in both the assignment and the meter
+        charges.
+        """
+        require(all(c is not None for c in self._curves), "every leaf needs a curve")
+        for lvl, level in enumerate(self._slots, start=1):
+            nodes, below = self._nodes[lvl], self._nodes[lvl - 1]
+            dirty, dirty_below = self._dirty[lvl], self._dirty[lvl - 1]
+            for s, (a, b) in enumerate(level):
+                if b is None:
+                    # Odd trailing node: carried up unchanged, no DP work.
+                    nodes[s] = below[a]
+                    dirty[s] = dirty_below[a]
+                    continue
+                node = nodes[s]
+                if node is None or dirty_below[a] or dirty_below[b]:
+                    nodes[s] = _combine(below[a], below[b], self.total_ways, meter)
+                    dirty[s] = True
+                elif meter is not None:
+                    # Clean subtree: replay the DP cost a rebuild would pay.
+                    meter.charge_replay(dp_cells=node.dp_cells)
+        for row in self._dirty:
+            for i in range(len(row)):
+                row[i] = False
+        return _select(self._nodes[-1][0], self.ncores, self.total_ways)

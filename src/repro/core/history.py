@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import Allocation
 from repro.core.curves import EnergyCurve
 from repro.core.energy_model import predict_epi_grid
 from repro.core.local_opt import local_optimize
@@ -146,13 +145,16 @@ class HistoryAwareManager(CoordinatedManager):
         )
 
 
-def rm2_history(mlp_model: str = "model2") -> HistoryAwareManager:
+def rm2_history(mlp_model: str = "model2", incremental: bool = True) -> HistoryAwareManager:
     """Paper I's combined RMA plus phase history/prediction."""
-    return HistoryAwareManager(name="rm2-history", mlp_model=mlp_model)
+    return HistoryAwareManager(
+        name="rm2-history", mlp_model=mlp_model, incremental=incremental
+    )
 
 
-def rm3_history(mlp_model: str = "model3") -> HistoryAwareManager:
+def rm3_history(mlp_model: str = "model3", incremental: bool = True) -> HistoryAwareManager:
     """Paper II's RM3 plus phase history/prediction."""
     return HistoryAwareManager(
-        name="rm3-history", control_core_size=True, mlp_model=mlp_model
+        name="rm3-history", control_core_size=True, mlp_model=mlp_model,
+        incremental=incremental,
     )

@@ -25,7 +25,7 @@ from repro.core.curves import EnergyCurve
 from repro.core.overhead_meter import OverheadMeter
 from repro.util.validation import require
 
-__all__ = ["DimSpec", "local_optimize"]
+__all__ = ["DimSpec", "local_optimize", "local_optimize_batch"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,71 @@ class DimSpec:
         return self.freq_indices if self.freq_indices is not None else tuple(range(system.vf.nlevels))
 
 
+def local_optimize_batch(
+    system: SystemConfig,
+    core_ids: list[int],
+    tpi_batch: np.ndarray,
+    epi_batch: np.ndarray,
+    targets: np.ndarray,
+    dims: DimSpec,
+    meter: OverheadMeter | None = None,
+    pin_ways_per_core: list[int] | None = None,
+) -> list[EnergyCurve]:
+    """Collapse stacked ``(N, C, F, W)`` grids into one curve per core.
+
+    The batched form of :func:`local_optimize`: one vectorised pass over all
+    ``N`` cores' grids instead of ``N`` Python-level invocations.  Every
+    slice is computed with the same elementwise expressions and the same
+    argmin ordering as the single-core path, so results (ties included) are
+    bit-identical; the meter is charged the same grid-point count per core.
+
+    ``pin_ways_per_core`` restricts each core to its own single way count
+    (the uncoordinated UCP+DVFS manager hands every core a fixed partition);
+    it composes with -- and overrides -- ``dims.pin_ways``.
+    """
+    require(tpi_batch.shape == epi_batch.shape, "grid shape mismatch")
+    require(tpi_batch.ndim == 4, "batched grids must be (N, C, F, W)")
+    n, n_c, n_f, n_w = tpi_batch.shape
+    require(len(core_ids) == n, "one core id per batched grid")
+
+    cores = np.asarray(dims.cores(system), dtype=int)
+    freqs = np.asarray(dims.freqs(system), dtype=int)
+    if meter is not None:
+        meter.charge_grid(n * len(cores) * len(freqs) * n_w)
+
+    idx = np.ix_(np.arange(n), cores, freqs, np.arange(n_w))
+    sub_tpi = tpi_batch[idx]
+    sub_epi = epi_batch[idx]
+    feasible = sub_tpi <= np.asarray(targets, dtype=float)[:, None, None, None]
+    masked = np.where(feasible, sub_epi, np.inf)
+
+    if pin_ways_per_core is not None:
+        keep = np.zeros((n, n_w), dtype=bool)
+        keep[np.arange(n), np.asarray(pin_ways_per_core, dtype=int) - 1] = True
+        masked = np.where(keep[:, None, None, :], masked, np.inf)
+    elif dims.pin_ways is not None:
+        keep = np.zeros(n_w, dtype=bool)
+        keep[dims.pin_ways - 1] = True
+        masked = np.where(keep[None, None, None, :], masked, np.inf)
+
+    flat = masked.reshape(n, -1, n_w)            # (N, C'*F', W)
+    best = np.argmin(flat, axis=1)               # (N, W)
+    epi = np.take_along_axis(flat, best[:, None, :], axis=1)[:, 0, :]
+    c_sel = cores[best // len(freqs)]
+    f_sel = freqs[best % len(freqs)]
+    # Infeasible columns keep inf epi; their (c, f) entries are meaningless
+    # but harmless because the global optimiser never selects them.
+    return [
+        EnergyCurve(
+            core_id=core_id,
+            epi=epi[i].copy(),
+            freq_idx=f_sel[i].astype(int),
+            core_idx=c_sel[i].astype(int),
+        )
+        for i, core_id in enumerate(core_ids)
+    ]
+
+
 def local_optimize(
     system: SystemConfig,
     core_id: int,
@@ -57,35 +122,18 @@ def local_optimize(
     dims: DimSpec,
     meter: OverheadMeter | None = None,
 ) -> EnergyCurve:
-    """Collapse ``(C, F, W)`` grids into an :class:`EnergyCurve` over ``w``."""
-    require(tpi_grid.shape == epi_grid.shape, "grid shape mismatch")
-    n_c, n_f, n_w = tpi_grid.shape
+    """Collapse ``(C, F, W)`` grids into an :class:`EnergyCurve` over ``w``.
 
-    cores = np.asarray(dims.cores(system), dtype=int)
-    freqs = np.asarray(dims.freqs(system), dtype=int)
-    if meter is not None:
-        meter.charge_grid(len(cores) * len(freqs) * n_w)
-
-    sub_tpi = tpi_grid[np.ix_(cores, freqs, np.arange(n_w))]
-    sub_epi = epi_grid[np.ix_(cores, freqs, np.arange(n_w))]
-    feasible = sub_tpi <= target_tpi
-    masked = np.where(feasible, sub_epi, np.inf)
-
-    if dims.pin_ways is not None:
-        keep = np.zeros(n_w, dtype=bool)
-        keep[dims.pin_ways - 1] = True
-        masked = np.where(keep[None, None, :], masked, np.inf)
-
-    flat = masked.reshape(-1, n_w)               # (C'*F', W)
-    best = np.argmin(flat, axis=0)               # (W,)
-    epi = flat[best, np.arange(n_w)]
-    c_sel = cores[best // len(freqs)]
-    f_sel = freqs[best % len(freqs)]
-    # Infeasible columns keep inf epi; their (c, f) entries are meaningless
-    # but harmless because the global optimiser never selects them.
-    return EnergyCurve(
-        core_id=core_id,
-        epi=epi,
-        freq_idx=f_sel.astype(int),
-        core_idx=c_sel.astype(int),
-    )
+    Thin wrapper over :func:`local_optimize_batch` with a batch of one, so
+    the single-core and batched paths can never drift apart.
+    """
+    require(tpi_grid.ndim == 3, "grids must be (C, F, W)")
+    return local_optimize_batch(
+        system,
+        [core_id],
+        tpi_grid[None, ...],
+        epi_grid[None, ...],
+        np.asarray([target_tpi], dtype=float),
+        dims,
+        meter,
+    )[0]

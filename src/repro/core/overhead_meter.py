@@ -47,6 +47,20 @@ class OverheadMeter:
         if self._per_invocation:
             self._per_invocation[-1] += cost
 
+    def charge_replay(self, grid_points: int = 0, dp_cells: int = 0) -> None:
+        """Re-charge cached costs for work the simulator skipped.
+
+        The meter models the *paper's* RMA, which recomputes its models and
+        curve reductions on every invocation.  Simulator-side shortcuts --
+        curve memoization, the persistent reduction tree -- skip the Python
+        work but must replay the modelled instruction cost so the metered
+        overhead stays bit-identical to the recomputing reference path.
+        """
+        if grid_points:
+            self.charge_grid(grid_points)
+        if dp_cells:
+            self.charge_dp(dp_cells)
+
     def charge_dp(self, cells: int) -> None:
         self.dp_cells += cells
         cost = cells * COST_DP_CELL

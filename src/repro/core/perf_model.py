@@ -28,8 +28,14 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.cpu.counters import CounterSnapshot
 from repro.cpu.microarch import ilp_cpi_factor
+from repro.util.validation import require
 
-__all__ = ["predict_tpi_grid", "exec_cpi_estimate"]
+__all__ = [
+    "predict_tpi_grid",
+    "predict_tpi_grid_batch",
+    "exec_cpi_estimate",
+    "exec_cpi_estimate_batch",
+]
 
 
 def exec_cpi_estimate(
@@ -52,6 +58,34 @@ def exec_cpi_estimate(
     return out
 
 
+def exec_cpi_estimate_batch(
+    system: SystemConfig,
+    snapshots: list[CounterSnapshot],
+) -> np.ndarray:
+    """Batched :func:`exec_cpi_estimate`: ``shape (N, C)``, bit-identical rows.
+
+    Evaluates the same elementwise expressions as the scalar path (same
+    operation order, IEEE double throughout), so each row equals the
+    per-snapshot call exactly.
+    """
+    floors = np.array([c.ilp_floor for c in system.core_sizes])
+    speedups = np.array([c.ilp_speedup for c in system.core_sizes])
+    inv_width = 1.0 / np.array([c.width for c in system.core_sizes])
+    ilp = np.array([s.ilp_index_est for s in snapshots])
+    # Same guard ilp_cpi_factor applies per scalar call: the batched and
+    # scalar pipelines must reject invalid snapshots identically.
+    require(
+        bool(np.all((ilp >= 0.0) & (ilp <= 1.0))),
+        "ilp_sensitivity must be in [0, 1]",
+    )
+    cur_index = np.array([s.core_index for s in snapshots], dtype=int)
+    exec_cpi = np.array([s.exec_cpi for s in snapshots])
+    factors = floors[None, :] + (speedups - floors)[None, :] * ilp[:, None]
+    cur_factor = factors[np.arange(len(snapshots)), cur_index]
+    out = exec_cpi[:, None] * factors / cur_factor[:, None]
+    return np.maximum(out, inv_width[None, :])
+
+
 def predict_tpi_grid(
     system: SystemConfig,
     snapshot: CounterSnapshot,
@@ -66,4 +100,27 @@ def predict_tpi_grid(
     return (
         exec_cpi[:, None, None] / freqs[None, :, None]
         + mem_tpi[:, None, :]
+    )
+
+
+def predict_tpi_grid_batch(
+    system: SystemConfig,
+    snapshots: list[CounterSnapshot],
+    mpki_batch: np.ndarray,
+    mlp_batch: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`predict_tpi_grid`: ``TPI[n, c, f, w]`` for ``N`` cores.
+
+    One vectorised pass over the stacked ``(N, W)`` miss curves and
+    ``(N, C, W)`` MLP estimates; every ``[n]`` slice is bit-identical to the
+    per-core call (same expressions, same order, a leading batch axis only).
+    """
+    freqs = system.vf.freqs_array()
+    exec_cpi = exec_cpi_estimate_batch(system, snapshots)            # (N, C)
+    mpi = np.asarray(mpki_batch, dtype=float) / 1000.0               # (N, W)
+    latency = np.array([s.avg_mem_latency_ns for s in snapshots])
+    mem_tpi = (mpi[:, None, :] / mlp_batch) * latency[:, None, None]  # (N, C, W)
+    return (
+        exec_cpi[:, :, None, None] / freqs[None, None, :, None]
+        + mem_tpi[:, :, None, :]
     )

@@ -11,7 +11,6 @@ import numpy as np
 
 from repro.experiments.report import ExperimentResult
 from repro.experiments.runner import (
-    DVFS_ONLY,
     RM1,
     RM2,
     ExperimentContext,

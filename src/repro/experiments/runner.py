@@ -82,6 +82,10 @@ class ManagerSpec:
     control_partitioning: bool = True
     mlp_model: str = "model2"
     oracle: bool = False
+    # False selects the recompute-everything reference pipeline (the
+    # executable specification the batched/incremental default is verified
+    # against); results are bit-identical either way.
+    incremental: bool = True
 
     def build(self):
         if self.kind == "baseline":
@@ -105,6 +109,7 @@ class ManagerSpec:
             control_partitioning=self.control_partitioning,
             mlp_model=self.mlp_model,
             oracle=self.oracle,
+            incremental=self.incremental,
         )
 
 

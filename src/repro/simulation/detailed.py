@@ -15,7 +15,6 @@ grid (core size x VF level x way allocation):
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.cache.atd import atd_profile, stack_distances
 from repro.cache.mlp_atd import quantize

@@ -48,3 +48,19 @@ class ManagerBridge:
     def upcoming_record(self, core_id: int) -> PhaseRecord:
         """Record of the slice the core is currently executing (oracle view)."""
         return self._kernel.scheduler.record(core_id)
+
+    # -- batched accessors (the vectorised manager pipeline) -------------------
+    def active_core_ids(self) -> list[int]:
+        """Cores currently executing a tenant, in core order."""
+        return [c.core_id for c in self._kernel.cores if c.active]
+
+    def upcoming_records(self, core_ids: list[int]) -> list[PhaseRecord]:
+        """Batched :meth:`upcoming_record`: one scheduler read per core.
+
+        The batched manager pipeline stacks these records' grids into
+        ``(N, C, F, W)`` tensors; managers fall back to per-core
+        :meth:`upcoming_record` calls on simulators without this method
+        (the frozen legacy reference).
+        """
+        record = self._kernel.scheduler.record
+        return [record(j) for j in core_ids]

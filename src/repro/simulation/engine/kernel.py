@@ -115,6 +115,12 @@ class SimulationKernel:
     def upcoming_record(self, core_id: int):
         return self.bridge.upcoming_record(core_id)
 
+    def active_core_ids(self):
+        return self.bridge.active_core_ids()
+
+    def upcoming_records(self, core_ids):
+        return self.bridge.upcoming_records(core_ids)
+
     # ---- internals -----------------------------------------------------------
     def _complete_interval(self, core: CoreRun) -> None:
         rec = self.scheduler.record(core.core_id)

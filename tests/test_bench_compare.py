@@ -1,0 +1,144 @@
+"""The bench-regression gate's comparison rules.
+
+``tools/bench_compare.py`` guards the committed ``BENCH_*.json`` baselines:
+result-hash mismatches always fail, wall-clock regressions fail beyond the
+threshold (after calibration rescaling, above the absolute noise floor),
+and fidelity-context drift demands a baseline refresh instead of a silent
+comparison.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tools"))
+from bench_compare import compare_reports, main  # noqa: E402
+
+BASE = {
+    "benchmark": "manager_overhead",
+    "ncores": 8,
+    "max_slices": 24,
+    "calibration_s": 0.2,
+    "timestamp": "2026-01-01T00:00:00Z",
+    "managers": {
+        "rm2-combined": {
+            "reference_s": 1.0,
+            "incremental_s": 0.4,
+            "speedup": 2.5,
+            "bit_identical": True,
+            "result_hash": "abc123",
+        },
+    },
+    "bit_identical": True,
+}
+
+
+def fresh(**overrides):
+    out = copy.deepcopy(BASE)
+    rec = out["managers"]["rm2-combined"]
+    for key, value in overrides.items():
+        (rec if key in rec else out)[key] = value
+    return out
+
+
+class TestCompareRules:
+    def test_identical_reports_pass(self):
+        assert compare_reports(BASE, fresh()) == []
+
+    def test_wall_clock_regression_fails(self):
+        problems = compare_reports(BASE, fresh(incremental_s=0.8))
+        assert any("wall-clock regressed" in p for p in problems)
+
+    def test_wall_clock_within_threshold_passes(self):
+        assert compare_reports(BASE, fresh(incremental_s=0.45)) == []
+
+    def test_tiny_absolute_delta_is_noise_not_regression(self):
+        base = copy.deepcopy(BASE)
+        base["managers"]["rm2-combined"]["incremental_s"] = 0.01
+        got = fresh(incremental_s=0.05)  # 5x relative, but 0.04s absolute
+        assert compare_reports(base, got) == []
+
+    def test_calibration_rescales_slower_machines(self):
+        # The fresh machine's yardstick ran 2x slower: 2x wall is expected.
+        got = fresh(incremental_s=0.75, reference_s=1.9, calibration_s=0.4)
+        assert compare_reports(BASE, got) == []
+        # ... but 3x wall is still a regression even at 2x calibration.
+        got = fresh(incremental_s=1.2, calibration_s=0.4)
+        assert any("wall-clock" in p for p in compare_reports(BASE, got))
+
+    def test_result_hash_mismatch_always_fails(self):
+        problems = compare_reports(BASE, fresh(result_hash="zzz999"))
+        assert any("result_hash" in p and "exact-match" in p for p in problems)
+
+    def test_bit_identical_false_fails(self):
+        problems = compare_reports(BASE, fresh(bit_identical=False))
+        assert any("not bit-identical" in p for p in problems)
+
+    def test_speedup_drop_fails(self):
+        problems = compare_reports(BASE, fresh(speedup=1.5))
+        assert any("speedup regressed" in p for p in problems)
+
+    def test_speedup_on_unmeasurable_walls_is_skipped(self):
+        base = copy.deepcopy(BASE)
+        rec = base["managers"]["rm2-combined"]
+        rec["reference_s"] = rec["incremental_s"] = 0.01
+        got = copy.deepcopy(base)
+        got["managers"]["rm2-combined"]["speedup"] = 0.5
+        assert compare_reports(base, got) == []
+
+    def test_context_change_demands_refresh(self):
+        problems = compare_reports(BASE, fresh(max_slices=12))
+        assert any("fidelity context" in p and "refresh" in p for p in problems)
+
+    def test_disappearing_metric_fails(self):
+        got = fresh()
+        del got["managers"]["rm2-combined"]["result_hash"]
+        problems = compare_reports(BASE, got)
+        assert any("missing from the fresh artifact" in p for p in problems)
+
+    def test_disappearing_manager_fails(self):
+        got = fresh()
+        del got["managers"]["rm2-combined"]
+        problems = compare_reports(BASE, got)
+        assert any("rm2-combined" in p and "missing" in p for p in problems)
+
+
+class TestGateCli:
+    def _write(self, directory, report):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "BENCH_manager_overhead.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh)
+        return path
+
+    def test_missing_baseline_fails_then_update_adopts(self, tmp_path, capsys):
+        art, basedir = str(tmp_path / "art"), str(tmp_path / "base")
+        self._write(art, BASE)
+        assert main(["--artifact-dir", art, "--baseline-dir", basedir]) == 1
+        assert "no committed baseline" in capsys.readouterr().out
+        assert main(["--artifact-dir", art, "--baseline-dir", basedir, "--update"]) == 0
+        assert main(["--artifact-dir", art, "--baseline-dir", basedir]) == 0
+
+    def test_regression_exits_nonzero(self, tmp_path):
+        art, basedir = str(tmp_path / "art"), str(tmp_path / "base")
+        self._write(basedir, BASE)
+        self._write(art, fresh(result_hash="drifted"))
+        assert main(["--artifact-dir", art, "--baseline-dir", basedir]) == 1
+
+    def test_no_artifacts_is_an_error(self, tmp_path):
+        art = str(tmp_path / "empty")
+        base = str(tmp_path / "b")
+        assert main(["--artifact-dir", art, "--baseline-dir", base]) == 2
+
+    @pytest.mark.parametrize("threshold,expect", [(0.25, 1), (3.0, 0)])
+    def test_threshold_is_configurable(self, tmp_path, threshold, expect):
+        art, basedir = str(tmp_path / "art"), str(tmp_path / "base")
+        self._write(basedir, BASE)
+        self._write(art, fresh(incremental_s=1.2))
+        argv = ["--artifact-dir", art, "--baseline-dir", basedir]
+        assert main(argv + ["--threshold", str(threshold)]) == expect

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.workloads.benchmarks import BENCHMARKS, benchmark_names, get_benchmark
@@ -13,7 +12,6 @@ from repro.workloads.classification import (
 )
 from repro.workloads.mixes import (
     PAPER1_PATTERNS_4CORE,
-    PAPER1_PATTERNS_8CORE,
     Workload,
     paper1_workloads,
     paper2_mixes,

@@ -10,6 +10,15 @@ multi-process, and compares with ``==`` -- no tolerances.
 It also unit-tests the incremental scheduler's invalidation protocol: a
 core's cached completion state must be recomputed after an allocation
 change, a tenant swap, a departure, and a slack change.
+
+The second golden axis is the *manager pipeline*: the batched/incremental
+coordinated-manager path (``incremental=True`` -- stacked curve
+construction, curve memoization, persistent reduction tree) must be
+bit-identical to the recompute-everything reference path
+(``incremental=False``) across RM1/RM2/RM3/dvfs-only, fixed workloads and
+all four scenario shapes, serial and spawn-multiprocess -- including the
+metered RMA instruction counts, which model the paper's always-recomputing
+on-line algorithm.
 """
 
 from __future__ import annotations
@@ -19,13 +28,15 @@ import math
 import pytest
 
 from repro.config import Allocation
+from repro.core.history import rm2_history, rm3_history
 from repro.core.managers import (
     StaticBaselineManager,
+    dvfs_only,
     rm1_partitioning_only,
     rm2_combined,
     rm3_core_adaptive,
 )
-from repro.experiments.runner import BASELINE, RM2, ExperimentContext
+from repro.experiments.runner import BASELINE, RM2, ExperimentContext, ManagerSpec
 from repro.scenarios import (
     ScenarioEvent,
     burst_load,
@@ -145,6 +156,134 @@ class TestGoldenMultiprocess:
         for key in golden:
             assert_bit_identical(golden[key], serial[key])
             assert_bit_identical(golden[key], parallel[key])
+
+
+#: Every coordinated-manager restriction the papers evaluate, plus the
+#: history-aware extension (which overrides curve construction and must
+#: bypass the curve memo while still using the incremental tree).
+PIPELINE_MANAGERS = [
+    ("rm1", rm1_partitioning_only),
+    ("rm2", rm2_combined),
+    ("rm3", rm3_core_adaptive),
+    ("dvfs-only", dvfs_only),
+    ("rm2-history", rm2_history),
+    ("rm3-history", rm3_history),
+]
+
+#: Subset whose factories take ``oracle=`` (history managers do not --
+#: oracle mode replaces the very curve construction they extend).
+ORACLE_MANAGERS = PIPELINE_MANAGERS[:4]
+
+
+class TestManagerPipelineEquivalence:
+    """Batched/incremental manager pipeline vs the reference pipeline."""
+
+    @pytest.mark.parametrize(
+        "label,factory", PIPELINE_MANAGERS, ids=[m[0] for m in PIPELINE_MANAGERS]
+    )
+    def test_fixed_workload(self, system4, db4, label, factory):
+        ref = RMASimulator(
+            system4, db4, _wl4(), factory(incremental=False), max_slices=6
+        ).run()
+        inc = RMASimulator(
+            system4, db4, _wl4(), factory(incremental=True), max_slices=6
+        ).run()
+        assert_bit_identical(ref, inc)
+
+    @pytest.mark.parametrize(
+        "label,factory", ORACLE_MANAGERS, ids=[m[0] for m in ORACLE_MANAGERS]
+    )
+    def test_fixed_workload_oracle(self, system4, db4, label, factory):
+        """The oracle ("perfect models") path batches every active core."""
+        ref = RMASimulator(
+            system4, db4, _wl4(), factory(oracle=True, incremental=False), max_slices=6
+        ).run()
+        inc = RMASimulator(
+            system4, db4, _wl4(), factory(oracle=True, incremental=True), max_slices=6
+        ).run()
+        assert_bit_identical(ref, inc)
+
+    @pytest.mark.parametrize(
+        "slabel,gen,kwargs", SCENARIO_SHAPES, ids=[s[0] for s in SCENARIO_SHAPES]
+    )
+    @pytest.mark.parametrize(
+        "mlabel,factory", PIPELINE_MANAGERS, ids=[m[0] for m in PIPELINE_MANAGERS]
+    )
+    def test_scenario_shapes(self, system4, db4, slabel, gen, kwargs, mlabel, factory):
+        """S1-S4 exercise the memo/tree splice paths: arrivals, departures,
+        tenant swaps and QoS ramps must never serve a stale curve."""
+        sc = gen(slabel, 4, TEST_BENCHMARKS, horizon_intervals=24, seed=3, **kwargs)
+        ref = RMASimulator(
+            system4, db4, sc.workload, factory(incremental=False),
+            max_slices=6, scenario=sc,
+        ).run()
+        inc = RMASimulator(
+            system4, db4, sc.workload, factory(incremental=True),
+            max_slices=6, scenario=sc,
+        ).run()
+        assert_bit_identical(ref, inc)
+
+    @pytest.mark.parametrize(
+        "slabel,gen,kwargs", SCENARIO_SHAPES, ids=[s[0] for s in SCENARIO_SHAPES]
+    )
+    def test_scenario_shapes_oracle(self, system4, db4, slabel, gen, kwargs):
+        """Scenario events must also never stale the oracle memo (keyed on
+        phase identity + slack) or the batched bridge reads."""
+        sc = gen(slabel, 4, TEST_BENCHMARKS, horizon_intervals=24, seed=3, **kwargs)
+        ref = RMASimulator(
+            system4, db4, sc.workload, rm2_combined(oracle=True, incremental=False),
+            max_slices=6, scenario=sc,
+        ).run()
+        inc = RMASimulator(
+            system4, db4, sc.workload, rm2_combined(oracle=True, incremental=True),
+            max_slices=6, scenario=sc,
+        ).run()
+        assert_bit_identical(ref, inc)
+
+    def test_8core_scenario(self, system8, db8):
+        sc = poisson_arrivals("pipe8-s1", 8, TEST_BENCHMARKS,
+                              horizon_intervals=32, seed=1)
+        ref = RMASimulator(
+            system8, db8, sc.workload, rm2_combined(incremental=False),
+            max_slices=4, scenario=sc,
+        ).run()
+        inc = RMASimulator(
+            system8, db8, sc.workload, rm2_combined(incremental=True),
+            max_slices=4, scenario=sc,
+        ).run()
+        assert_bit_identical(ref, inc)
+
+    def test_serial_and_spawn_multiprocess(self, system4, db4):
+        """Both pipelines agree under serial and spawn-multiprocess fan-out
+        (spawn workers inherit nothing: manager state -- memo, reduction
+        tree -- must be rebuilt per run, not leaked across them)."""
+        import multiprocessing as mp
+
+        from repro.experiments.runner import _init_worker, _run_one_scenario
+        from repro.util.parallel import parallel_map
+
+        if "spawn" not in mp.get_all_start_methods():
+            pytest.skip("platform has no spawn start method")
+        ctx = ExperimentContext(system=system4, db=db4, max_slices=6,
+                                results_store=None)
+        scenarios = [
+            poisson_arrivals("pp-p", 4, TEST_BENCHMARKS, horizon_intervals=24, seed=0),
+            qos_ramp("pp-q", 4, TEST_BENCHMARKS, horizon_intervals=24, seed=0),
+        ]
+        ref_spec = ManagerSpec(kind="coordinated", name="rm2-combined",
+                               incremental=False)
+        serial_ref = ctx.run_scenarios(scenarios, [ref_spec], processes=1)
+        serial_inc = ctx.run_scenarios(scenarios, [RM2], processes=1)
+        tasks = [(sc, RM2, 6) for sc in scenarios]
+        spawn_inc = parallel_map(
+            _run_one_scenario, tasks, processes=2,
+            initializer=_init_worker, initargs=(ctx,),
+            start_method="spawn",
+        )
+        for sc, spawned in zip(scenarios, spawn_inc):
+            ref = serial_ref[(sc.name, "rm2-combined")]
+            assert_bit_identical(ref, serial_inc[(sc.name, "rm2-combined")])
+            assert_bit_identical(ref, spawned)
 
 
 class TestSchedulerInvalidation:

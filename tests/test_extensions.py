@@ -15,7 +15,6 @@ from repro.core.colocation import (
 from repro.core.history import (
     MIN_TRANSITIONS,
     CoreHistory,
-    HistoryAwareManager,
     rm2_history,
     rm3_history,
     signature,

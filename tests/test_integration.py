@@ -7,7 +7,6 @@ what is (in)effective, and that QoS holds where it must.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.managers import (

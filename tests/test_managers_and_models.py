@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.config import default_system
 from repro.core.energy_model import predict_epi_grid
 from repro.core.managers import (
     CoordinatedManager,

@@ -17,7 +17,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import default_system
 from repro.core.curves import EnergyCurve
-from repro.core.global_opt import global_optimize
+from repro.core.global_opt import ReductionTree, global_optimize
 from repro.core.local_opt import DimSpec, local_optimize
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.qos import qos_target_tpi
@@ -134,6 +134,77 @@ class TestGlobalOptimize:
         curves = [random_curve(rng, j, 4, 1.0) for j in range(3)]
         with pytest.raises(ValueError):
             global_optimize(curves, 2, min_ways=1)
+
+
+class TestReductionTree:
+    """The persistent tree must equal a from-scratch rebuild -- assignment
+    *and* metered DP charges -- after arbitrary leaf update/splice orders."""
+
+    @staticmethod
+    def _assert_matches_scratch(tree, curves, total_ways):
+        tree_meter, scratch_meter = OverheadMeter(), OverheadMeter()
+        got = tree.solve(tree_meter)
+        want = global_optimize(curves, total_ways, min_ways=1, meter=scratch_meter)
+        assert got == want
+        assert tree_meter.dp_cells == scratch_meter.dp_cells
+        assert tree_meter.instructions == scratch_meter.instructions
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ncores=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+        ops=st.lists(
+            st.tuples(st.sampled_from(["update", "same", "splice", "solve"]),
+                      st.integers(0, 5)),
+            min_size=1, max_size=24,
+        ),
+    )
+    def test_equals_from_scratch_after_arbitrary_updates(self, ncores, seed, ops):
+        rng = np.random.default_rng(seed)
+        ways = 8
+        tree = ReductionTree(ncores, total_ways=ways, min_ways=1)
+        curves = [random_curve(rng, j, ways) for j in range(ncores)]
+        for j, c in enumerate(curves):
+            tree.set_leaf(j, c)
+        self._assert_matches_scratch(tree, curves, ways)
+        for op, raw in ops:
+            j = raw % ncores
+            if op == "update":
+                curves[j] = random_curve(rng, j, ways)
+                tree.set_leaf(j, curves[j])
+            elif op == "same":
+                # A numerically identical fresh object must be a no-op.
+                c = curves[j]
+                tree.set_leaf(j, EnergyCurve(
+                    core_id=c.core_id, epi=c.epi.copy(),
+                    freq_idx=c.freq_idx.copy(), core_idx=c.core_idx.copy(),
+                ))
+            elif op == "splice":
+                # Scenario swap/depart/arrive: force the leaf dirty, then
+                # install the new tenant's curve (possibly equal-valued).
+                tree.invalidate(j)
+                curves[j] = random_curve(rng, j, ways)
+                tree.set_leaf(j, curves[j])
+            else:
+                self._assert_matches_scratch(tree, curves, ways)
+        self._assert_matches_scratch(tree, curves, ways)
+
+    def test_solve_requires_all_leaves(self):
+        tree = ReductionTree(3, total_ways=8)
+        tree.set_leaf(0, EnergyCurve.pinned(0, 2, 0, 0, 8))
+        with pytest.raises(ValueError):
+            tree.solve()
+
+    def test_infeasible_total_returns_none_and_recovers(self):
+        tree = ReductionTree(2, total_ways=8)
+        tree.set_leaf(0, EnergyCurve.pinned(0, 8, 0, 0, 8))
+        tree.set_leaf(1, EnergyCurve.pinned(1, 8, 0, 0, 8))
+        assert tree.solve() is None
+        # Splicing in a satisfiable pair recovers without a rebuild.
+        tree.set_leaf(0, EnergyCurve.pinned(0, 4, 0, 0, 8))
+        tree.set_leaf(1, EnergyCurve.pinned(1, 4, 0, 0, 8))
+        got = tree.solve()
+        assert got[0][2] == got[1][2] == 4
 
 
 class TestLocalOptimize:

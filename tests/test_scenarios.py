@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro.core.managers import StaticBaselineManager, rm2_combined
-from repro.experiments.runner import BASELINE, RM2, RM3, ExperimentContext
+from repro.experiments.runner import BASELINE, RM2, ExperimentContext
 from repro.scenarios import (
     Scenario,
     ScenarioEvent,

@@ -4,13 +4,25 @@ One place for the small-suite benchmark subset (the test suite's seven
 apps, chosen so tool runs reuse the tier-1 ``.sim_cache`` database), the
 artifact directory, and the ``BENCH_*.json`` writer, so the scripts cannot
 drift apart on either the app set or the artifact schema.
+
+Every artifact carries two regression-gate fields consumed by
+``tools/bench_compare.py``:
+
+* ``calibration_s`` -- wall-clock of a fixed numpy workload on the
+  producing machine, letting the gate rescale wall-clock baselines
+  recorded on different hardware before applying its threshold;
+* per-run ``result_hash`` values (:func:`run_result_hash`) -- a digest of
+  the full-precision simulation numbers, so any semantic drift fails the
+  gate exactly, independent of timing noise.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sys
+import time
 
 #: The test suite's benchmark subset: all four Paper I categories and all
 #: four Paper II types, small enough to build fast.
@@ -26,6 +38,77 @@ ARTIFACT_DIR = os.path.normpath(
 
 def add_src_to_path() -> None:
     sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+
+def machine_calibration_s(repeats: int = 3) -> float:
+    """Best-of-N wall-clock of a fixed, deterministic yardstick workload.
+
+    A speed yardstick for the producing machine: the regression gate divides
+    fresh and baseline wall-clocks by their respective calibrations so a
+    slower CI runner does not read as a code regression.  The workload must
+    mirror the *replay's* execution profile -- a Python-level event loop
+    issuing many numpy operations on small arrays (call-overhead bound) --
+    not multithreaded BLAS kernels, whose throughput scales differently
+    across machines than the interpreter-bound simulator does.
+    """
+    import numpy as np
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        rng = np.random.default_rng(0)
+        a = rng.random(64)
+        acc = 0.0
+        for _ in range(12000):
+            masked = np.where(a > 0.5, a, np.inf)
+            totals = masked[None, :] + a[:, None]
+            m = np.argmin(totals, axis=1)
+            acc += float(totals[0, m[0]])
+        assert acc == acc  # consume the result
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def time_best_of(make_run, repeats: int = 3):
+    """Best-of-N wall-clock of ``make_run()`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = make_run()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def runs_bit_identical(a, b) -> bool:
+    """``==`` on every scored number of two ``RunResult``s -- no tolerances.
+
+    The one comparator every bench script's ``bit_identical`` artifact
+    field goes through, so the scripts cannot drift on what "identical"
+    means (timings, energies, interval samples, and the metered RMA
+    accounting all count).
+    """
+    return (
+        a.total_energy_nj == b.total_energy_nj
+        and a.max_time_ns == b.max_time_ns
+        and a.rma_invocations == b.rma_invocations
+        and a.rma_instructions == b.rma_instructions
+        and len(a.interval_samples) == len(b.interval_samples)
+        and all(x == y for x, y in zip(a.interval_samples, b.interval_samples))
+    )
+
+
+def run_result_hash(run) -> str:
+    """Digest of one ``RunResult``'s simulation numbers at full precision."""
+    parts = [run.workload, run.manager,
+             repr(int(run.rma_invocations)), repr(float(run.rma_instructions))]
+    for app in run.apps:
+        parts.append(
+            f"{app.app}|{app.core}|{app.intervals}|{app.slack!r}|"
+            f"{app.time_ns!r}|{app.energy_nj!r}"
+        )
+    parts.append(repr(len(run.interval_samples)))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
 
 
 def write_bench_artifact(name: str, report: dict) -> str:

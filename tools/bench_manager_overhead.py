@@ -1,21 +1,21 @@
 #!/usr/bin/env python
-"""Benchmark: incremental engine vs the frozen full-rescan reference.
+"""Benchmark: batched/incremental manager pipeline vs the reference path.
 
-Replays the same 8-core dynamic scenario through the layered kernel
-(:mod:`repro.simulation.engine`) and the pre-refactor monolithic loop
-(:mod:`repro.simulation.legacy_sim`), verifies the results are
-bit-identical, and records wall-clock plus speedup into
-``benchmarks/_artifacts/BENCH_engine_speedup.json`` so the perf trajectory
-is tracked as an artefact per commit.
+PR 2 made scenario replay fast under the baseline manager but left the
+coordinated-manager hot path -- per-core curve construction plus a full
+rebuild of the global min-plus reduction tree on every interval --
+dominating wall-clock.  This benchmark replays the same dynamic scenario
+with the coordinated manager's batched/incremental pipeline
+(``incremental=True``: stacked curve tensors, curve memoization, persistent
+reduction tree) and with the pre-PR recompute-everything reference
+(``incremental=False``), verifies the runs are bit-identical, and records
+wall-clock, speedup and result hashes into
+``benchmarks/_artifacts/BENCH_manager_overhead.json``.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_engine_speedup.py \
+    PYTHONPATH=src python tools/bench_manager_overhead.py \
         [--ncores 8] [--horizon 512] [--max-slices 24] [--repeats 3]
-
-The database is a small fixed benchmark subset (the test suite's seven
-apps), so on a machine that has run the tests the build step is served from
-``.sim_cache`` instantly.
 """
 
 from __future__ import annotations
@@ -41,11 +41,22 @@ from _bench_common import (  # noqa: E402
 os.environ.setdefault("REPRO_ACCESSES_PER_SET", "400")
 add_src_to_path()
 
-from repro.core.managers import StaticBaselineManager, rm2_combined  # noqa: E402
+from repro.core.managers import (  # noqa: E402
+    dvfs_only,
+    rm1_partitioning_only,
+    rm2_combined,
+    rm3_core_adaptive,
+)
 from repro.experiments.runner import get_context  # noqa: E402
 from repro.scenarios import poisson_arrivals  # noqa: E402
-from repro.simulation.legacy_sim import LegacyRMASimulator  # noqa: E402
 from repro.simulation.rma_sim import RMASimulator  # noqa: E402
+
+MANAGERS = {
+    "rm1-partitioning": rm1_partitioning_only,
+    "rm2-combined": rm2_combined,
+    "rm3-core-adaptive": rm3_core_adaptive,
+    "dvfs-only": dvfs_only,
+}
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,17 +67,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-slices", type=int, default=24)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--managers", nargs="*", default=list(MANAGERS),
+                        choices=list(MANAGERS))
     args = parser.parse_args(argv)
 
     ctx = get_context(args.ncores, names=BENCHMARK_SUBSET)
     scenario = poisson_arrivals(
-        f"bench-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
+        f"mgr-bench-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
         rate_per_interval=0.25, horizon_intervals=args.horizon, seed=args.seed,
     )
 
-    managers = {"baseline": StaticBaselineManager, "rm2-combined": rm2_combined}
     report: dict = {
-        "benchmark": "engine_speedup",
+        "benchmark": "manager_overhead",
         "ncores": args.ncores,
         "horizon_intervals": args.horizon,
         "max_slices": args.max_slices,
@@ -77,33 +89,35 @@ def main(argv: list[str] | None = None) -> int:
         "managers": {},
     }
     identical = True
-    for name, factory in managers.items():
-        legacy_s, legacy_run = time_best_of(
-            lambda: LegacyRMASimulator(ctx.system, ctx.db, scenario.workload,
-                                       factory(), max_slices=args.max_slices,
-                                       scenario=scenario).run(),
-            args.repeats,
-        )
-        engine_s, engine_run = time_best_of(
+    for name in args.managers:
+        factory = MANAGERS[name]
+        ref_s, ref_run = time_best_of(
             lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
-                                 factory(), max_slices=args.max_slices,
-                                 scenario=scenario).run(),
+                                 factory(incremental=False),
+                                 max_slices=args.max_slices, scenario=scenario).run(),
             args.repeats,
         )
-        same = runs_bit_identical(legacy_run, engine_run)
+        inc_s, inc_run = time_best_of(
+            lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
+                                 factory(incremental=True),
+                                 max_slices=args.max_slices, scenario=scenario).run(),
+            args.repeats,
+        )
+        same = runs_bit_identical(ref_run, inc_run)
         identical = identical and same
         report["managers"][name] = {
-            "legacy_s": round(legacy_s, 4),
-            "engine_s": round(engine_s, 4),
-            "speedup": round(legacy_s / engine_s, 3),
+            "reference_s": round(ref_s, 4),
+            "incremental_s": round(inc_s, 4),
+            "speedup": round(ref_s / inc_s, 3),
             "bit_identical": same,
-            "result_hash": run_result_hash(engine_run),
+            "result_hash": run_result_hash(inc_run),
+            "rma_invocations": int(inc_run.rma_invocations),
         }
-        print(f"{name:14s} legacy {legacy_s:7.3f}s  engine {engine_s:7.3f}s  "
-              f"speedup {legacy_s / engine_s:5.2f}x  bit-identical={same}")
+        print(f"{name:18s} reference {ref_s:7.3f}s  incremental {inc_s:7.3f}s  "
+              f"speedup {ref_s / inc_s:5.2f}x  bit-identical={same}")
     report["bit_identical"] = identical
 
-    write_bench_artifact("engine_speedup", report)
+    write_bench_artifact("manager_overhead", report)
     return 0 if identical else 1
 
 

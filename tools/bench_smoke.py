@@ -16,6 +16,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import hashlib
 import os
 import sys
 import tempfile
@@ -25,6 +26,7 @@ sys.path.insert(0, os.path.dirname(__file__))
 from _bench_common import (  # noqa: E402
     BENCHMARK_SUBSET,
     add_src_to_path,
+    machine_calibration_s,
     write_bench_artifact,
 )
 
@@ -81,15 +83,27 @@ def main(argv: list[str] | None = None) -> int:
         "max_slices": os.environ["REPRO_MAX_SLICES"],
         "accesses_per_set": os.environ["REPRO_ACCESSES_PER_SET"],
         "result_store": store is not None,
+        "calibration_s": round(machine_calibration_s(), 4),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
+
+    def _block_hash(out: dict) -> str:
+        """Digest of the block's scored numbers (full precision)."""
+        parts = []
+        for key in sorted(out):
+            res = out[key]
+            if hasattr(res, "savings_pct"):  # WorkloadComparison
+                parts.append(f"{key}|{res.savings_pct!r}|{res.n_violations}")
+            else:  # RunResult
+                parts.append(f"{key}|{res.total_energy_nj!r}|{res.max_time_ns!r}")
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
 
     for label, block in (
         ("fixed_workload", lambda: ctx.run_matrix(workloads, [RM2, RM3])),
         ("scenario", lambda: ctx.run_scenarios([scenario], [BASELINE, RM2])),
     ):
         hits_before = store.hits if store else 0
-        cold_s, _ = _timed(block)
+        cold_s, cold_out = _timed(block)
         warm_hits_before = store.hits if store else 0
         warm_s, _ = _timed(block)
         report[label] = {
@@ -97,6 +111,7 @@ def main(argv: list[str] | None = None) -> int:
             "warm_s": round(warm_s, 4),
             "cold_store_hits": warm_hits_before - hits_before,
             "warm_store_hits": (store.hits if store else 0) - warm_hits_before,
+            "result_hash": _block_hash(cold_out),
         }
         print(f"{label:15s} cold {cold_s:7.3f}s  warm {warm_s:7.3f}s  "
               f"warm store hits {report[label]['warm_store_hits']}")

@@ -46,6 +46,12 @@ def ctx8():
 
 
 @pytest.fixture(scope="session")
+def ctx16():
+    """Many-core context for the cluster-tier scenario experiments (S5/S6)."""
+    return get_context(16)
+
+
+@pytest.fixture(scope="session")
 def record_artifact():
     """Persist a rendered experiment table under benchmarks/_artifacts/."""
 

@@ -13,13 +13,19 @@ from repro.core.perf_model import predict_tpi_grid, predict_tpi_grid_batch
 from repro.core.energy_model import predict_epi_grid, predict_epi_grid_batch
 from repro.core.qos import qos_target_tpi
 from repro.core.local_opt import DimSpec, local_optimize, local_optimize_batch
-from repro.core.global_opt import ReductionTree, global_optimize
+from repro.core.global_opt import (
+    ReductionTree,
+    cluster_way_caps,
+    global_optimize,
+    partition_clusters,
+)
 from repro.core.batch_opt import analytical_curves_batch, oracle_curves_batch
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.managers import (
     ResourceManager,
     StaticBaselineManager,
     CoordinatedManager,
+    ClusteredManager,
     IndependentManager,
     rm1_partitioning_only,
     rm2_combined,
@@ -45,12 +51,15 @@ __all__ = [
     "local_optimize_batch",
     "global_optimize",
     "ReductionTree",
+    "partition_clusters",
+    "cluster_way_caps",
     "analytical_curves_batch",
     "oracle_curves_batch",
     "OverheadMeter",
     "ResourceManager",
     "StaticBaselineManager",
     "CoordinatedManager",
+    "ClusteredManager",
     "IndependentManager",
     "HistoryAwareManager",
     "rm2_history",

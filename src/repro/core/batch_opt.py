@@ -24,7 +24,7 @@ from repro.core.energy_model import predict_epi_grid_batch
 from repro.core.local_opt import DimSpec, local_optimize_batch
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.perf_model import predict_tpi_grid_batch
-from repro.core.qos import qos_target_tpi
+from repro.core.qos import QOS_TOLERANCE
 from repro.util.validation import require
 
 __all__ = [
@@ -58,16 +58,21 @@ def qos_targets_from_grids(
 ) -> np.ndarray:
     """Per-core QoS target TPIs from stacked prediction grids.
 
-    Each target is computed with the scalar :func:`qos_target_tpi`
-    expression over the core's own slice, preserving the exact float
-    arithmetic of the per-core path.
+    One vectorised read of every core's baseline grid point, then the exact
+    elementwise expression of the scalar :func:`qos_target_tpi` -- the same
+    IEEE-754 multiply chain per core, so targets are bit-identical to the
+    per-core loop this replaces (which mattered once the oracle pipeline
+    started stacking 64-256 cores per invocation).
     """
-    return np.array(
-        [
-            qos_target_tpi(system, tpi_batch[i], slack)
-            for i, slack in enumerate(slacks)
-        ]
-    )
+    slack_arr = np.asarray(slacks, dtype=float)
+    require(bool(np.all(slack_arr >= 0.0)), "slack must be non-negative")
+    base = tpi_batch[
+        :,
+        system.baseline_core_index,
+        system.baseline_freq_index,
+        system.baseline_ways - 1,
+    ]
+    return base * (1.0 + slack_arr) * (1.0 + QOS_TOLERANCE)
 
 
 def analytical_curves_batch(

@@ -21,10 +21,24 @@ manager invocations: when only one leaf curve changed since the last solve
 subtrees keep their arrays.  Both produce bit-identical assignments, and the
 tree re-charges the cached DP-cell counts of skipped nodes so the metered
 RMA overhead (the *modelled* hardware cost) is bit-identical too.
+
+**The hierarchical cluster tier** reuses the same tree at two levels: each
+cluster of cores owns a :class:`ReductionTree` whose combines are capped at
+the cluster's way budget (:func:`cluster_way_caps`), and a second-level
+tree combines the per-cluster *aggregate* curves -- the cluster roots,
+injected via :meth:`ReductionTree.set_leaf_node` -- to decide how many LLC
+ways each cluster receives.  Because combined nodes keep their back-track
+``split`` chains, one :func:`_assign` walk from the second-level root
+recurses through the cluster roots down to the per-core leaves, so the
+two-level select yields a complete per-core assignment with no extra
+machinery.  With a single cluster the cap equals the full associativity and
+the second level degenerates to a pass-through, making the hierarchy
+bit-identical to the flat tree.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -33,7 +47,12 @@ from repro.core.curves import EnergyCurve
 from repro.core.overhead_meter import OverheadMeter
 from repro.util.validation import require
 
-__all__ = ["global_optimize", "ReductionTree"]
+__all__ = [
+    "global_optimize",
+    "ReductionTree",
+    "partition_clusters",
+    "cluster_way_caps",
+]
 
 
 @dataclass
@@ -50,9 +69,19 @@ class _Node:
     dp_cells: int = 0                     # DP work a from-scratch combine does
 
 
-def _leaf(curve: EnergyCurve, min_ways: int) -> _Node:
-    epi = curve.epi[min_ways - 1 :].copy()
-    return _Node(min_ways=min_ways, max_ways=curve.max_ways, epi=epi, curve=curve)
+def _leaf(curve: EnergyCurve, min_ways: int, cap: int) -> _Node:
+    """Leaf node over ``[min_ways, cap]`` ways of one curve.
+
+    Clamping at ``cap`` matters only when the curve is wider than the
+    tree's way budget -- a cluster tree over full-associativity curves --
+    and is what makes a *single-core* cluster respect its cap (its leaf is
+    never passed through a capped combine).  Reachable splits of wider
+    trees are unaffected: a child of any combine can receive at most
+    ``cap - min_ways`` ways anyway.
+    """
+    epi = curve.epi[min_ways - 1 : cap].copy()
+    return _Node(min_ways=min_ways, max_ways=min(curve.max_ways, cap), epi=epi,
+                 curve=curve)
 
 
 def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node:
@@ -114,7 +143,7 @@ def global_optimize(
         total_ways >= len(curves) * min_ways,
         "associativity cannot satisfy the per-core minimum",
     )
-    nodes = [_leaf(c, min_ways) for c in curves]
+    nodes = [_leaf(c, min_ways, total_ways) for c in curves]
     while len(nodes) > 1:
         nxt = []
         for i in range(0, len(nodes) - 1, 2):
@@ -123,6 +152,50 @@ def global_optimize(
             nxt.append(nodes[-1])
         nodes = nxt
     return _select(nodes[0], len(curves), total_ways)
+
+
+def partition_clusters(ncores: int, cluster_size: int) -> tuple[tuple[int, ...], ...]:
+    """Partition ``range(ncores)`` into contiguous clusters of ``cluster_size``.
+
+    The last cluster absorbs the remainder when ``ncores`` is not an exact
+    multiple.  Contiguous blocks in core order keep the hierarchical
+    reduction's pairing deterministic and make the single-cluster case
+    (``cluster_size >= ncores``) structurally identical to the flat tree.
+    """
+    require(cluster_size >= 1, "cluster size must be at least one core")
+    return tuple(
+        tuple(range(lo, min(lo + cluster_size, ncores)))
+        for lo in range(0, ncores, cluster_size)
+    )
+
+
+def cluster_way_caps(
+    total_ways: int,
+    ncores: int,
+    clusters: tuple[tuple[int, ...], ...],
+    min_ways: int,
+    overprovision: float = 2.0,
+) -> tuple[int, ...]:
+    """Per-cluster LLC way budgets for the hierarchical reduction.
+
+    Each cluster's intra-cluster combines are capped at ``overprovision``
+    times its proportional share of the associativity (rounded up), clamped
+    to ``total_ways``: the cap is what makes the cluster tier cheaper than
+    the flat reduction (intra-cluster curve arrays stay narrow), while the
+    overprovision headroom lets a cache-hungry cluster draw ways from its
+    neighbours.  Every cap is at least the cluster's feasibility floor
+    (``members * min_ways``), the caps sum to at least ``total_ways`` for
+    any ``overprovision >= 1``, and a cluster covering every core is capped
+    at exactly ``total_ways`` -- the single-cluster equivalence case.
+    """
+    require(overprovision >= 1.0, "overprovision must be at least 1.0")
+    caps = []
+    for members in clusters:
+        share = len(members) * total_ways / ncores
+        cap = min(total_ways, max(len(members) * min_ways,
+                                  math.ceil(overprovision * share)))
+        caps.append(int(cap))
+    return tuple(caps)
 
 
 def _select(root: _Node, nleaves: int, total_ways: int) -> dict[int, tuple[int, int, int]] | None:
@@ -198,17 +271,33 @@ class ReductionTree:
                 self._curves[core_id] = curve
                 return
         self._curves[core_id] = curve
-        self._nodes[0][core_id] = _leaf(curve, self.min_ways)
+        self._nodes[0][core_id] = _leaf(curve, self.min_ways, self.total_ways)
         self._dirty[0][core_id] = True
 
-    def solve(self, meter: OverheadMeter | None = None) -> dict[int, tuple[int, int, int]] | None:
-        """Optimal assignment over the current leaves (or None if infeasible).
+    def set_leaf_node(self, slot: int, node: _Node, dirty: bool) -> None:
+        """Install a prebuilt aggregate node as leaf ``slot`` (cluster tier).
 
-        Bit-identical to ``global_optimize(curves, total_ways, min_ways,
-        meter)`` over the same curves, in both the assignment and the meter
-        charges.
+        The hierarchical manager feeds each cluster's root node into its
+        second-level tree through this method: the node already carries its
+        combined epi array and back-track splits, so the second level
+        treats it exactly like a (wide) leaf curve.  ``dirty`` is the
+        cluster tree's report of whether any of its own root path was
+        re-combined; a clean, identical root keeps the second-level subtree
+        cached.
         """
-        require(all(c is not None for c in self._curves), "every leaf needs a curve")
+        self._nodes[0][slot] = node
+        if dirty:
+            self._dirty[0][slot] = True
+
+    def refresh(self, meter: OverheadMeter | None = None) -> tuple[_Node, bool]:
+        """Re-combine the dirty root paths; return ``(root, changed)``.
+
+        ``changed`` reports whether the root node was rebuilt this call --
+        the signal a second-level tree needs to decide whether this tree's
+        aggregate leaf is dirty.  Clean combine nodes re-charge their cached
+        DP-cell counts on ``meter`` (see :meth:`solve`).
+        """
+        require(all(n is not None for n in self._nodes[0]), "every leaf needs a curve")
         for lvl, level in enumerate(self._slots, start=1):
             nodes, below = self._nodes[lvl], self._nodes[lvl - 1]
             dirty, dirty_below = self._dirty[lvl], self._dirty[lvl - 1]
@@ -225,7 +314,18 @@ class ReductionTree:
                 elif meter is not None:
                     # Clean subtree: replay the DP cost a rebuild would pay.
                     meter.charge_replay(dp_cells=node.dp_cells)
+        changed = self._dirty[-1][0]
         for row in self._dirty:
             for i in range(len(row)):
                 row[i] = False
-        return _select(self._nodes[-1][0], self.ncores, self.total_ways)
+        return self._nodes[-1][0], changed
+
+    def solve(self, meter: OverheadMeter | None = None) -> dict[int, tuple[int, int, int]] | None:
+        """Optimal assignment over the current leaves (or None if infeasible).
+
+        Bit-identical to ``global_optimize(curves, total_ways, min_ways,
+        meter)`` over the same curves, in both the assignment and the meter
+        charges.
+        """
+        root, _ = self.refresh(meter)
+        return _select(root, self.ncores, self.total_ways)

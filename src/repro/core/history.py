@@ -62,6 +62,7 @@ class PhaseEntry:
     visits: int = 1
 
     def update(self, snapshot, mpki_sampled: np.ndarray, mlp_sampled: np.ndarray) -> None:
+        """Fold a new observation of this phase into the smoothed entry."""
         a = SMOOTHING
         self.snapshot = snapshot  # counters are exact; keep the freshest
         self.mpki_sampled = (1 - a) * self.mpki_sampled + a * np.asarray(mpki_sampled)
@@ -80,6 +81,7 @@ class CoreHistory:
     last_sig: tuple | None = None
 
     def observe(self, sig: tuple, snapshot, mpki_sampled, mlp_sampled) -> None:
+        """Record one completed interval under signature ``sig``."""
         entry = self.table.get(sig)
         if entry is None:
             self.table[sig] = PhaseEntry(
@@ -114,12 +116,13 @@ class HistoryAwareManager(CoordinatedManager):
         self.history: dict[int, CoreHistory] = {}
 
     def attach(self, sim) -> None:
+        """Reset the per-core phase tables for a fresh run."""
         super().attach(sim)
         self.history = {}
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
+        """Drop the phase table too: it fingerprints the departed tenant."""
         super().on_scenario_event(core_id, kind)
-        # Phase table and transitions fingerprint the departed tenant.
         self.history.pop(core_id, None)
 
     def _analytical_curve(self, core_id: int) -> EnergyCurve:

@@ -42,9 +42,11 @@ class DimSpec:
     pin_ways: int | None = None
 
     def cores(self, system: SystemConfig) -> tuple[int, ...]:
+        """The core-size indices the manager may choose from."""
         return self.core_indices if self.core_indices is not None else tuple(range(system.ncore_sizes))
 
     def freqs(self, system: SystemConfig) -> tuple[int, ...]:
+        """The VF operating-point indices the manager may choose from."""
         return self.freq_indices if self.freq_indices is not None else tuple(range(system.vf.nlevels))
 
 

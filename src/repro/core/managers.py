@@ -36,6 +36,20 @@ overheads:
   ``tests/test_engine_equivalence.py`` replays both and compares with ``==``
   on every number, and ``tools/bench_manager_overhead.py`` measures the
   speedup against it.
+
+For many-core systems (64-256 cores) the flat global reduction itself is
+the scaling wall: the top combines of the min-plus tree widen with the full
+LLC associativity, so every invocation pays a superlinear cost in the core
+count.  :class:`ClusteredManager` adds a hierarchical tier above the same
+machinery: cores are partitioned into clusters (``cluster_size``), each
+cluster runs the batched local pipeline plus its own capped
+:class:`~repro.core.global_opt.ReductionTree`, and a second-level tree
+combines the per-cluster aggregate curves to redistribute LLC ways -- and
+with them the power/slack headroom the QoS-pruned curves encode -- across
+clusters.  With one cluster it is bit-identical to the flat incremental
+manager; with many, it trades a bounded energy gap (the cluster way caps)
+for per-invocation work that scales with the cluster size instead of the
+system size.
 """
 
 from __future__ import annotations
@@ -48,17 +62,24 @@ from repro.config import Allocation, SystemConfig
 from repro.core.batch_opt import analytical_curves_batch, oracle_curves_batch
 from repro.core.curves import EnergyCurve
 from repro.core.energy_model import predict_epi_grid
-from repro.core.global_opt import ReductionTree, global_optimize
+from repro.core.global_opt import (
+    ReductionTree,
+    cluster_way_caps,
+    global_optimize,
+    partition_clusters,
+)
 from repro.core.local_opt import DimSpec, local_optimize
 from repro.core.models import MLP_MODELS
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.perf_model import predict_tpi_grid
 from repro.core.qos import qos_target_tpi
+from repro.util.validation import require
 
 __all__ = [
     "ResourceManager",
     "StaticBaselineManager",
     "CoordinatedManager",
+    "ClusteredManager",
     "IndependentManager",
     "rm1_partitioning_only",
     "rm2_combined",
@@ -82,6 +103,7 @@ class ResourceManager(ABC):
         self.sim = None
 
     def attach(self, sim) -> None:
+        """Bind the manager to a simulator run and reset its run state."""
         self.sim = sim
         self.meter = OverheadMeter()
 
@@ -105,6 +127,7 @@ class StaticBaselineManager(ResourceManager):
     name = "baseline"
 
     def on_interval(self, core_id: int) -> None:
+        """Never reconfigure: the QoS anchor holds the baseline setting."""
         return None
 
 
@@ -141,6 +164,7 @@ class CoordinatedManager(ResourceManager):
         self._idle_cache: dict[int, EnergyCurve] = {}
 
     def attach(self, sim) -> None:
+        """Reset all run state and (re)build the incremental reduction trees."""
         super().attach(sim)
         self.curves = {}
         self._memo = {}
@@ -148,16 +172,27 @@ class CoordinatedManager(ResourceManager):
         self._idle_cache = {}
         self._tree = None
         if self.incremental:
-            system = sim.system
-            self._tree = ReductionTree(
-                system.ncores, system.llc.ways, system.min_ways_per_core
-            )
+            self._init_trees(sim.system)
+
+    def _init_trees(self, system: SystemConfig) -> None:
+        """Build the persistent reduction structure for ``incremental=True``.
+
+        The flat manager keeps one tree over all cores;
+        :class:`ClusteredManager` overrides this with per-cluster trees plus
+        the second-level combine.
+        """
+        self._tree = ReductionTree(
+            system.ncores, system.llc.ways, system.min_ways_per_core
+        )
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
-        # The cached curve models the departed tenant; the new one (or the
-        # idle core) is pinned until fresh statistics arrive.  The reduction
-        # tree's leaf is spliced (forced dirty) so the next solve re-combines
-        # its root path even if the replacement curve compares equal.
+        """Drop the departed tenant's curve and splice the tree leaf.
+
+        The cached curve models the departed tenant; the new one (or the
+        idle core) is pinned until fresh statistics arrive.  The reduction
+        tree's leaf is spliced (forced dirty) so the next solve re-combines
+        its root path even if the replacement curve compares equal.
+        """
         self.curves.pop(core_id, None)
         if self._tree is not None:
             self._tree.invalidate(core_id)
@@ -317,36 +352,52 @@ class CoordinatedManager(ResourceManager):
         return leaves
 
     # -- the decision ----------------------------------------------------------
-    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
-        if not self.incremental:
-            return self._on_interval_reference(core_id)
-        sim, system = self.sim, self.sim.system
+    def _live_leaf(self, core_id: int, oracle_leaves) -> EnergyCurve:
+        """The reduction-tree leaf for ``core_id`` this invocation.
+
+        One selection rule shared by the flat and clustered incremental
+        pipelines, so the two can never drift: the oracle curve (or the idle
+        leaf) when running with perfect models, otherwise the held
+        analytical curve, the idle leaf for a power-gated core, or the
+        baseline-pinned leaf for a core without statistics yet.
+        """
+        if oracle_leaves is not None:
+            curve = oracle_leaves.get(core_id)
+            return curve if curve is not None else self._static_leaf(core_id, idle=True)
+        if not self.sim.is_active(core_id):
+            return self._static_leaf(core_id, idle=True)
+        if core_id in self.curves:
+            return self.curves[core_id]
+        return self._static_leaf(core_id, idle=False)
+
+    def _begin_decision(self, core_id: int) -> dict[int, EnergyCurve] | None:
+        """Shared invocation prologue: meter, curve refresh, oracle leaves."""
         self.meter.begin_invocation()
-
-        tree = self._tree
         if self.oracle:
-            leaves = self._oracle_leaves()
-            for j in range(system.ncores):
-                curve = leaves.get(j)
-                tree.set_leaf(j, curve if curve is not None
-                              else self._static_leaf(j, idle=True))
-        else:
-            self.curves[core_id] = self._analytical_curve_memo(core_id)
-            for j in range(system.ncores):
-                if not sim.is_active(j):
-                    tree.set_leaf(j, self._static_leaf(j, idle=True))
-                elif j in self.curves:
-                    tree.set_leaf(j, self.curves[j])
-                else:
-                    tree.set_leaf(j, self._static_leaf(j, idle=False))
+            return self._oracle_leaves()
+        self.curves[core_id] = self._analytical_curve_memo(core_id)
+        return None
 
-        assignment = tree.solve(self.meter)
+    @staticmethod
+    def _to_allocations(assignment) -> dict[int, Allocation] | None:
+        """Convert a solved ``{core: (c, f, w)}`` map into allocations."""
         if assignment is None:
             return None
         return {
             j: Allocation(core=c, freq=f, ways=w)
             for j, (c, f, w) in assignment.items()
         }
+
+    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        """Decide new allocations after ``core_id`` finished an interval."""
+        if not self.incremental:
+            return self._on_interval_reference(core_id)
+        system = self.sim.system
+        oracle_leaves = self._begin_decision(core_id)
+        tree = self._tree
+        for j in range(system.ncores):
+            tree.set_leaf(j, self._live_leaf(j, oracle_leaves))
+        return self._to_allocations(tree.solve(self.meter))
 
     def _on_interval_reference(self, core_id: int) -> dict[int, Allocation] | None:
         """The pre-batching decision path, verbatim (executable reference)."""
@@ -371,63 +422,223 @@ class CoordinatedManager(ResourceManager):
         }
 
 
-def rm1_partitioning_only(
-    oracle: bool = False, mlp_model: str = "model2", incremental: bool = True
+class ClusteredManager(CoordinatedManager):
+    """Hierarchical coordinated RMA for many-core systems (64-256 cores).
+
+    Cores are partitioned into contiguous clusters of ``cluster_size``.
+    Every cluster runs the flat manager's batched local pipeline -- the same
+    memoized per-core energy curves -- into its own persistent
+    :class:`~repro.core.global_opt.ReductionTree`, whose combines are capped
+    at the cluster's way budget (``overprovision`` times its proportional
+    LLC share, see :func:`~repro.core.global_opt.cluster_way_caps`).  A
+    second-level tree then min-plus combines the per-cluster *aggregate*
+    curves (the cluster roots, spliced in as leaves) to decide how many LLC
+    ways each cluster receives; back-tracking the second-level solution
+    recurses through the cluster roots down to per-core settings, so one
+    walk yields the full system assignment.  Because the QoS-pruned curves
+    already encode each core's energy/slack trade-off, redistributing ways
+    between clusters is what moves power and slack budgets between them.
+
+    Scenario events splice only ``O(log cluster_size)`` intra-cluster nodes
+    plus ``O(log nclusters)`` second-level nodes: ``on_scenario_event``
+    forces the affected cluster leaf dirty, and an unchanged cluster
+    re-enters the second level as a clean cached aggregate.
+
+    Equivalence contract: with ``cluster_size >= ncores`` (one cluster) the
+    cap equals the full associativity and the second level is a
+    pass-through, so decisions, energies and metered overheads are
+    bit-identical to ``CoordinatedManager(incremental=True)`` --
+    ``tests/test_clustered.py`` enforces this.  With several clusters the
+    way caps bound each cluster's reach, giving results within a bounded
+    energy gap of the flat manager in exchange for per-invocation work that
+    scales with the cluster size, not the system size.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        cluster_size: int = 8,
+        overprovision: float = 2.0,
+        control_dvfs: bool = True,
+        control_core_size: bool = False,
+        control_partitioning: bool = True,
+        mlp_model: str = "model2",
+        oracle: bool = False,
+    ) -> None:
+        """Configure the hierarchy; dimension flags mirror the flat manager.
+
+        The clustered manager exists only on the incremental pipeline (there
+        is no recompute-everything reference for the hierarchy; the flat
+        incremental manager, itself verified against the reference, is its
+        anchor), so ``incremental`` is not a parameter.
+        """
+        super().__init__(
+            name=name,
+            control_dvfs=control_dvfs,
+            control_core_size=control_core_size,
+            control_partitioning=control_partitioning,
+            mlp_model=mlp_model,
+            oracle=oracle,
+            incremental=True,
+        )
+        self.cluster_size = int(cluster_size)
+        self.overprovision = float(overprovision)
+        self._clusters: tuple[tuple[int, ...], ...] = ()
+        self._cluster_trees: list[ReductionTree] = []
+        self._cluster_of: dict[int, tuple[int, int]] = {}
+        self._level2: ReductionTree | None = None
+
+    def _init_trees(self, system: SystemConfig) -> None:
+        """Per-cluster capped trees plus the second-level combine tree."""
+        self._clusters = partition_clusters(system.ncores, self.cluster_size)
+        caps = cluster_way_caps(
+            system.llc.ways, system.ncores, self._clusters,
+            system.min_ways_per_core, self.overprovision,
+        )
+        self._cluster_trees = [
+            ReductionTree(len(members), cap, system.min_ways_per_core)
+            for members, cap in zip(self._clusters, caps)
+        ]
+        self._cluster_of = {
+            j: (ci, local)
+            for ci, members in enumerate(self._clusters)
+            for local, j in enumerate(members)
+        }
+        self._level2 = ReductionTree(
+            len(self._clusters), system.llc.ways, system.min_ways_per_core
+        )
+
+    def on_scenario_event(self, core_id: int, kind: str) -> None:
+        """Splice the affected cluster leaf on a tenancy change."""
+        # The base class drops the held curve (its flat-tree branch is a
+        # no-op here: the hierarchy never installs self._tree).
+        super().on_scenario_event(core_id, kind)
+        if self._cluster_trees:
+            ci, local = self._cluster_of[core_id]
+            self._cluster_trees[ci].invalidate(local)
+
+    def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        """Two-level decision: refresh cluster trees, combine their roots."""
+        oracle_leaves = self._begin_decision(core_id)
+        level2 = self._level2
+        for ci, members in enumerate(self._clusters):
+            tree = self._cluster_trees[ci]
+            for local, j in enumerate(members):
+                tree.set_leaf(local, self._live_leaf(j, oracle_leaves))
+            root, changed = tree.refresh(self.meter)
+            level2.set_leaf_node(ci, root, changed)
+        return self._to_allocations(level2.solve(self.meter))
+
+
+def _make_manager(
+    name: str,
+    control_dvfs: bool,
+    control_core_size: bool,
+    control_partitioning: bool,
+    mlp_model: str,
+    oracle: bool,
+    incremental: bool,
+    cluster_size: int | None,
+    overprovision: float,
 ) -> CoordinatedManager:
-    """RM1: LLC partitioning only, at baseline VF and core size."""
+    """Build the flat or (when ``cluster_size`` is set) clustered variant."""
+    if cluster_size is not None:
+        require(
+            incremental,
+            "the clustered manager exists only on the incremental pipeline "
+            "(there is no recompute-everything reference for the hierarchy); "
+            "drop cluster_size or incremental=False",
+        )
+        return ClusteredManager(
+            name=f"{name}-c{cluster_size}",
+            cluster_size=cluster_size,
+            overprovision=overprovision,
+            control_dvfs=control_dvfs,
+            control_core_size=control_core_size,
+            control_partitioning=control_partitioning,
+            mlp_model=mlp_model,
+            oracle=oracle,
+        )
     return CoordinatedManager(
-        name="rm1-partitioning",
-        control_dvfs=False,
-        control_core_size=False,
-        control_partitioning=True,
+        name=name,
+        control_dvfs=control_dvfs,
+        control_core_size=control_core_size,
+        control_partitioning=control_partitioning,
         mlp_model=mlp_model,
         oracle=oracle,
         incremental=incremental,
+    )
+
+
+def rm1_partitioning_only(
+    oracle: bool = False,
+    mlp_model: str = "model2",
+    incremental: bool = True,
+    cluster_size: int | None = None,
+    overprovision: float = 2.0,
+) -> CoordinatedManager:
+    """RM1: LLC partitioning only, at baseline VF and core size.
+
+    ``cluster_size`` selects the hierarchical :class:`ClusteredManager`
+    variant (many-core tier) instead of the flat manager.
+    """
+    return _make_manager(
+        "rm1-partitioning", False, False, True, mlp_model, oracle,
+        incremental, cluster_size, overprovision,
     )
 
 
 def rm2_combined(
-    oracle: bool = False, mlp_model: str = "model2", incremental: bool = True
+    oracle: bool = False,
+    mlp_model: str = "model2",
+    incremental: bool = True,
+    cluster_size: int | None = None,
+    overprovision: float = 2.0,
 ) -> CoordinatedManager:
-    """RM2: coordinated per-core DVFS + LLC partitioning (Paper I)."""
-    return CoordinatedManager(
-        name="rm2-combined",
-        control_dvfs=True,
-        control_core_size=False,
-        control_partitioning=True,
-        mlp_model=mlp_model,
-        oracle=oracle,
-        incremental=incremental,
+    """RM2: coordinated per-core DVFS + LLC partitioning (Paper I).
+
+    ``cluster_size`` selects the hierarchical :class:`ClusteredManager`
+    variant (many-core tier) instead of the flat manager.
+    """
+    return _make_manager(
+        "rm2-combined", True, False, True, mlp_model, oracle,
+        incremental, cluster_size, overprovision,
     )
 
 
 def rm3_core_adaptive(
-    oracle: bool = False, mlp_model: str = "model3", incremental: bool = True
+    oracle: bool = False,
+    mlp_model: str = "model3",
+    incremental: bool = True,
+    cluster_size: int | None = None,
+    overprovision: float = 2.0,
 ) -> CoordinatedManager:
-    """RM3: core size + DVFS + LLC partitioning (Paper II)."""
-    return CoordinatedManager(
-        name="rm3-core-adaptive",
-        control_dvfs=True,
-        control_core_size=True,
-        control_partitioning=True,
-        mlp_model=mlp_model,
-        oracle=oracle,
-        incremental=incremental,
+    """RM3: core size + DVFS + LLC partitioning (Paper II).
+
+    ``cluster_size`` selects the hierarchical :class:`ClusteredManager`
+    variant (many-core tier) instead of the flat manager.
+    """
+    return _make_manager(
+        "rm3-core-adaptive", True, True, True, mlp_model, oracle,
+        incremental, cluster_size, overprovision,
     )
 
 
 def dvfs_only(
-    oracle: bool = False, mlp_model: str = "model2", incremental: bool = True
+    oracle: bool = False,
+    mlp_model: str = "model2",
+    incremental: bool = True,
+    cluster_size: int | None = None,
+    overprovision: float = 2.0,
 ) -> CoordinatedManager:
-    """Per-core DVFS at the fixed equal LLC split (ablation)."""
-    return CoordinatedManager(
-        name="dvfs-only",
-        control_dvfs=True,
-        control_core_size=False,
-        control_partitioning=False,
-        mlp_model=mlp_model,
-        oracle=oracle,
-        incremental=incremental,
+    """Per-core DVFS at the fixed equal LLC split (ablation).
+
+    ``cluster_size`` selects the hierarchical :class:`ClusteredManager`
+    variant (many-core tier) instead of the flat manager.
+    """
+    return _make_manager(
+        "dvfs-only", True, False, False, mlp_model, oracle,
+        incremental, cluster_size, overprovision,
     )
 
 class IndependentManager(ResourceManager):
@@ -452,15 +663,18 @@ class IndependentManager(ResourceManager):
         self.snapshots: dict[int, object] = {}
 
     def attach(self, sim) -> None:
+        """Reset the per-core UCP profiles for a fresh run."""
         super().attach(sim)
         self.hit_curves = {}
         self.snapshots = {}
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
+        """Forget the departed tenant's hit curve and counter snapshot."""
         self.hit_curves.pop(core_id, None)
         self.snapshots.pop(core_id, None)
 
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
+        """UCP partitioning for misses, then per-core DVFS to hold QoS."""
         from repro.cache.ucp import ucp_lookahead
 
         sim, system = self.sim, self.sim.system

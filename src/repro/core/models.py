@@ -33,6 +33,7 @@ class Model1:
 
     @staticmethod
     def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        """Unit MLP estimate for every (core size, ways) point."""
         return np.ones((system.ncore_sizes, system.llc.ways), dtype=float)
 
 
@@ -43,6 +44,7 @@ class Model2:
 
     @staticmethod
     def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        """Last interval's observed MLP, assumed constant across the grid."""
         return np.full((system.ncore_sizes, system.llc.ways), snapshot.mlp_observed, dtype=float)
 
 
@@ -53,6 +55,7 @@ class Model3:
 
     @staticmethod
     def mlp_hat(system: SystemConfig, snapshot: CounterSnapshot, mlp_sampled: np.ndarray) -> np.ndarray:
+        """The MLP-aware ATD's sampled per-(core size, ways) MLP table."""
         return np.asarray(mlp_sampled, dtype=float)
 
 

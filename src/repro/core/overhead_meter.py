@@ -36,11 +36,13 @@ class OverheadMeter:
     _per_invocation: list = field(default_factory=list)
 
     def begin_invocation(self) -> None:
+        """Open a new invocation and charge its fixed bookkeeping cost."""
         self.invocations += 1
         self._per_invocation.append(COST_FIXED)
         self.instructions += COST_FIXED
 
     def charge_grid(self, points: int) -> None:
+        """Charge ``points`` evaluated (c, f, w) model grid points."""
         self.grid_points += points
         cost = points * COST_GRID_POINT
         self.instructions += cost
@@ -62,6 +64,7 @@ class OverheadMeter:
             self.charge_dp(dp_cells)
 
     def charge_dp(self, cells: int) -> None:
+        """Charge ``cells`` dynamic-programming cells of curve reduction."""
         self.dp_cells += cells
         cost = cells * COST_DP_CELL
         self.instructions += cost
@@ -70,12 +73,14 @@ class OverheadMeter:
 
     @property
     def instructions_per_invocation(self) -> float:
+        """Mean modelled instructions per RMA invocation."""
         if not self.invocations:
             return 0.0
         return self.instructions / self.invocations
 
     @property
     def max_invocation_instructions(self) -> float:
+        """The most expensive single invocation's modelled instructions."""
         return max(self._per_invocation, default=0.0)
 
     def overhead_fraction(self, interval_instructions: int) -> float:

@@ -81,6 +81,12 @@ EXPERIMENTS: dict[str, ExperimentEntry] = {
                         scenarios.s3_churn, "benchmarks/bench_s3_churn.py"),
         ExperimentEntry("S4", "scenario", "dynamic: burst load ramp/drain",
                         scenarios.s4_burst_load, "benchmarks/bench_s4_burst_load.py"),
+        ExperimentEntry("S5", "scenario", "many-core: whole-cluster churn",
+                        scenarios.s5_cluster_churn, "benchmarks/bench_s5_cluster_churn.py"),
+        ExperimentEntry("S6", "scenario", "many-core: skewed hot/cold load",
+                        scenarios.s6_skewed_load, "benchmarks/bench_s6_skewed_load.py"),
+        ExperimentEntry("S7", "scenario", "scaling: flat vs clustered manager",
+                        scenarios.s7_scaling, "benchmarks/bench_s7_scaling.py"),
     ]
 }
 

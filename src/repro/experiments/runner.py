@@ -86,8 +86,14 @@ class ManagerSpec:
     # executable specification the batched/incremental default is verified
     # against); results are bit-identical either way.
     incremental: bool = True
+    # A non-None cluster size selects the hierarchical ClusteredManager
+    # (per-cluster reduction trees + second-level combine) instead of the
+    # flat coordinated manager; overprovision scales the per-cluster way cap.
+    cluster_size: int | None = None
+    overprovision: float = 2.0
 
     def build(self):
+        """Reconstruct the described manager (used inside worker processes)."""
         if self.kind == "baseline":
             return StaticBaselineManager()
         if self.kind == "independent":
@@ -101,6 +107,25 @@ class ManagerSpec:
                 name=self.name or "rm2-history",
                 control_core_size=self.control_core_size,
                 mlp_model=self.mlp_model,
+            )
+        if self.cluster_size is not None:
+            from repro.core.managers import ClusteredManager
+            from repro.util.validation import require
+
+            require(
+                self.incremental,
+                "clustered specs exist only on the incremental pipeline "
+                "(no recompute-everything reference for the hierarchy)",
+            )
+            return ClusteredManager(
+                name=self.name,
+                cluster_size=self.cluster_size,
+                overprovision=self.overprovision,
+                control_dvfs=self.control_dvfs,
+                control_core_size=self.control_core_size,
+                control_partitioning=self.control_partitioning,
+                mlp_model=self.mlp_model,
+                oracle=self.oracle,
             )
         return CoordinatedManager(
             name=self.name,
@@ -123,7 +148,30 @@ DVFS_ONLY = ManagerSpec(kind="coordinated", name="dvfs-only", control_partitioni
 
 
 def rm2_oracle() -> ManagerSpec:
+    """Spec for RM2 under perfect ("oracle") models."""
     return ManagerSpec(kind="coordinated", name="rm2-oracle", oracle=True)
+
+
+def rm2_clustered(cluster_size: int = 8, overprovision: float = 2.0) -> ManagerSpec:
+    """Spec for the hierarchical RM2 variant (the many-core cluster tier)."""
+    return ManagerSpec(
+        kind="coordinated",
+        name=f"rm2-combined-c{cluster_size}",
+        cluster_size=cluster_size,
+        overprovision=overprovision,
+    )
+
+
+def rm3_clustered(cluster_size: int = 8, overprovision: float = 2.0) -> ManagerSpec:
+    """Spec for the hierarchical RM3 variant (core resizing + cluster tier)."""
+    return ManagerSpec(
+        kind="coordinated",
+        name=f"rm3-core-adaptive-c{cluster_size}",
+        control_core_size=True,
+        mlp_model="model3",
+        cluster_size=cluster_size,
+        overprovision=overprovision,
+    )
 
 
 def rm3_with_model(model: str) -> ManagerSpec:

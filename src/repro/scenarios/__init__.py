@@ -10,14 +10,18 @@ down.  This package describes such time-varying executions as *scenarios*:
   (app swap, departure, QoS-slack change) and a total-interval horizon;
 * :mod:`repro.scenarios.generators` builds scenarios from stochastic
   processes -- Poisson and trace-driven arrivals, application churn, QoS
-  ramps and load bursts -- all seeded through :mod:`repro.util.rng` so the
-  event streams are bit-reproducible across processes and platforms;
+  ramps, load bursts, whole-cluster churn and skewed hot/cold loads -- all
+  seeded through :mod:`repro.util.rng` so the event streams are
+  bit-reproducible across processes and platforms;
 * the simulation kernel applies the events at interval boundaries (the
   tenancy component, :mod:`repro.simulation.engine.tenancy`) and runs to
   the horizon.
 
-Scenario experiments S1..S4 (:mod:`repro.experiments.scenarios`) drive the
-engine end-to-end and are registered alongside the paper experiments.
+Scenario experiments S1..S7 (:mod:`repro.experiments.scenarios`) drive the
+engine end-to-end and are registered alongside the paper experiments; the
+many-core shapes S5 (cluster churn) and S6 (skewed load) exercise the
+hierarchical cluster tier of :class:`repro.core.managers.ClusteredManager`,
+and S7 sweeps flat vs clustered across system sizes.
 """
 
 from repro.scenarios.events import Scenario, ScenarioEvent
@@ -25,8 +29,10 @@ from repro.scenarios.generators import (
     DEFAULT_INTERVAL_NS,
     burst_load,
     churn,
+    cluster_churn,
     poisson_arrivals,
     qos_ramp,
+    skewed_load,
     trace_arrivals,
 )
 
@@ -39,4 +45,6 @@ __all__ = [
     "churn",
     "qos_ramp",
     "burst_load",
+    "cluster_churn",
+    "skewed_load",
 ]

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.global_opt import partition_clusters
 from repro.scenarios.events import Scenario, ScenarioEvent
 from repro.util.rng import rng_for
 from repro.util.validation import require
@@ -29,6 +30,8 @@ __all__ = [
     "churn",
     "qos_ramp",
     "burst_load",
+    "cluster_churn",
+    "skewed_load",
 ]
 
 #: Nominal wall-clock length of one execution interval at the baseline
@@ -227,4 +230,121 @@ def burst_load(
     return Scenario(
         name=name, workload=workload, events=tuple(events),
         horizon_intervals=horizon_intervals, active=active,
+    )
+
+
+def cluster_churn(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    cluster_size: int = 8,
+    cycles: int = 4,
+    idle_intervals: float = 2.0,
+    horizon_intervals: int = 256,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+    slack: float = 0.0,
+) -> Scenario:
+    """Whole clusters drain and refill together (many-core S5 shape).
+
+    Models group scheduling on a many-core part: a cluster scheduler
+    places and evicts *groups* of tenants -- a rack slice, a VM pool, a
+    batch-job gang -- so entire ``cluster_size``-core blocks of the machine
+    empty out (power-gated) and later refill with fresh applications.  Each
+    of the ``cycles`` sequential cycles picks one cluster at random, departs
+    all its cores at jittered times, idles it for roughly
+    ``idle_intervals`` nominal intervals, then re-tenants every core with a
+    fresh app from the pool.
+
+    For hierarchical managers this is the worst-case splice pattern: a
+    whole cluster's aggregate curve collapses to idle leaves and later
+    rebuilds, while the other clusters' subtrees must stay cached.  Per-core
+    event times are clamped monotone, so the stream is always a valid
+    request sequence regardless of the cycle/idle randomness.
+    """
+    require(cycles >= 1, "need at least one churn cycle")
+    require(1 <= cluster_size <= ncores, "cluster size must be within the system")
+    rng = rng_for("scenario", "cluster-churn", name, seed)
+    workload = _initial_workload(name, ncores, apps, rng, slack)
+    # The manager's own partitioning rule, so drained blocks always align
+    # with ClusteredManager clusters of the same size.
+    clusters = partition_clusters(ncores, cluster_size)
+    duration_ns = horizon_intervals * interval_ns / ncores
+    gap_ns = duration_ns / (cycles + 1)
+    events: list[ScenarioEvent] = []
+    last: dict[int, float] = {}
+
+    def emit(t: float, core: int, kind: str, app: str | None = None) -> None:
+        t = max(t, last.get(core, 0.0))
+        last[core] = t
+        events.append(ScenarioEvent(time_ns=t, core=core, kind=kind, app=app))
+
+    t = 0.0
+    for _ in range(cycles):
+        t += float(rng.uniform(0.5, 1.0)) * gap_ns
+        members = clusters[int(rng.integers(0, len(clusters)))]
+        idle_ns = float(rng.exponential(idle_intervals * interval_ns))
+        for core in members:
+            jitter = float(rng.uniform(0.0, 0.25)) * interval_ns
+            emit(t + jitter, core, "depart")
+            app = apps[int(rng.integers(0, len(apps)))]
+            refill = float(rng.uniform(0.0, 0.5)) * interval_ns
+            emit(t + jitter + idle_ns + refill, core, "swap", app)
+        t += idle_ns
+    events.sort(key=lambda ev: (ev.time_ns, ev.core))
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals,
+    )
+
+
+def skewed_load(
+    name: str,
+    ncores: int,
+    apps: Sequence[str],
+    hot_fraction: float = 0.25,
+    swaps_per_hot_core: int = 3,
+    hot_slack: float = 0.0,
+    cold_slack: float = 0.3,
+    horizon_intervals: int = 256,
+    seed: int = 0,
+    interval_ns: float = DEFAULT_INTERVAL_NS,
+) -> Scenario:
+    """A hot minority of cores under pressure, a relaxed majority (S6 shape).
+
+    The first ``hot_fraction`` of the cores -- contiguous, so the heat
+    concentrates in a few clusters of a hierarchical manager -- run under
+    strict QoS (``hot_slack``) and are re-tenanted ``swaps_per_hot_core``
+    times at random points of the run, while the cold majority keeps its
+    initial tenants with a generous ``cold_slack``.  The shape a skewed
+    production fleet shows: a few latency-critical services churning under
+    tight SLOs amid a sea of batch work.
+
+    This is the scenario that exercises *inter-cluster* way redistribution:
+    cold clusters' curves are nearly flat in ways (their slack admits low
+    frequencies at small allocations), so the second-level combine should
+    hand their capacity to the hot clusters.
+    """
+    require(0.0 < hot_fraction <= 1.0, "hot fraction must be in (0, 1]")
+    require(swaps_per_hot_core >= 0, "swap count must be non-negative")
+    rng = rng_for("scenario", "skewed", name, seed)
+    require(len(apps) >= 1, "app pool must not be empty")
+    nhot = max(1, int(round(hot_fraction * ncores)))
+    picks = tuple(apps[int(i)] for i in rng.integers(0, len(apps), size=ncores))
+    slack = tuple(hot_slack if j < nhot else cold_slack for j in range(ncores))
+    workload = Workload(name=name, apps=picks, slack=slack)
+    duration_ns = horizon_intervals * interval_ns / ncores
+    events: list[ScenarioEvent] = []
+    for core in range(nhot):
+        times = sorted(
+            float(rng.uniform(0.1, 0.9)) * duration_ns
+            for _ in range(swaps_per_hot_core)
+        )
+        for t in times:
+            app = apps[int(rng.integers(0, len(apps)))]
+            events.append(ScenarioEvent(time_ns=t, core=core, kind="swap", app=app))
+    events.sort(key=lambda ev: (ev.time_ns, ev.core))
+    return Scenario(
+        name=name, workload=workload, events=tuple(events),
+        horizon_intervals=horizon_intervals,
     )

@@ -30,6 +30,7 @@ class ManagerBridge:
         return self._kernel.cores[core_id].slack
 
     def current_alloc(self, core_id: int) -> Allocation:
+        """The core's currently applied (core size, VF, ways) setting."""
         return self._kernel.cores[core_id].alloc
 
     def is_active(self, core_id: int) -> bool:
@@ -41,6 +42,7 @@ class ManagerBridge:
         return self._kernel.cores[core_id].last_snapshot
 
     def completed_record(self, core_id: int) -> PhaseRecord:
+        """Database record (sampled ATD curves) of the last completed interval."""
         rec = self._kernel.cores[core_id].last_record
         require(rec is not None, "no completed interval yet")
         return rec

@@ -49,6 +49,7 @@ class CoreRun:
 
     @property
     def done_first_round(self) -> bool:
+        """Whether the core has completed one full round of its trace."""
         return self.first_round_time_ns is not None
 
 

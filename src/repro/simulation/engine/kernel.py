@@ -21,6 +21,16 @@ One iteration = one global event = the earliest completion of a
 
 Accounting is bit-identical to :mod:`repro.simulation.legacy_sim`, the
 frozen pre-refactor reference; the golden equivalence suite enforces it.
+
+Many-core notes: per-event bookkeeping that used to scan every core (the
+all-idle check, the every-core-finished check) reads counters maintained
+incrementally by the tenancy model and the completion bookkeeping instead,
+keeping the fixed per-event cost independent of the core count.  Scenario
+tenancy changes reach managers through per-core
+:meth:`~repro.core.managers.ResourceManager.on_scenario_event` calls; the
+hierarchical :class:`~repro.core.managers.ClusteredManager` routes each
+notification to the owning cluster's reduction tree, so a swap or
+departure splices only that cluster's ``O(log)`` path.
 """
 
 from __future__ import annotations
@@ -95,30 +105,41 @@ class SimulationKernel:
         self.time_ns = 0.0
         self.total_intervals = 0
         self.interval_samples: list[IntervalSample] = []
+        # Cores that have completed their first trace round, maintained in
+        # _complete_interval so _finished() is O(1) at any core count.
+        self._first_rounds_done = 0
 
     # ---- manager-facing API (delegated to the bridge) ------------------------
     def slack(self, core_id: int) -> float:
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.slack`."""
         return self.bridge.slack(core_id)
 
     def current_alloc(self, core_id: int) -> Allocation:
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.current_alloc`."""
         return self.bridge.current_alloc(core_id)
 
     def is_active(self, core_id: int) -> bool:
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.is_active`."""
         return self.bridge.is_active(core_id)
 
     def completed_snapshot(self, core_id: int):
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.completed_snapshot`."""
         return self.bridge.completed_snapshot(core_id)
 
     def completed_record(self, core_id: int):
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.completed_record`."""
         return self.bridge.completed_record(core_id)
 
     def upcoming_record(self, core_id: int):
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.upcoming_record`."""
         return self.bridge.upcoming_record(core_id)
 
     def active_core_ids(self):
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.active_core_ids`."""
         return self.bridge.active_core_ids()
 
     def upcoming_records(self, core_ids):
+        """See :meth:`~repro.simulation.engine.bridge.ManagerBridge.upcoming_records`."""
         return self.bridge.upcoming_records(core_ids)
 
     # ---- internals -----------------------------------------------------------
@@ -150,6 +171,11 @@ class SimulationKernel:
         core.slice_idx += 1
         if core.slice_idx >= len(core.seq):
             if core.rounds == 0:
+                # A scenario swap resets rounds without clearing the first
+                # tenant's mark; count each core once, matching the
+                # done-first-round predicate exactly.
+                if core.first_round_time_ns is None:
+                    self._first_rounds_done += 1
                 core.first_round_time_ns = self.time_ns
                 core.first_round_energy_nj = core.energy_nj
             core.rounds += 1
@@ -182,11 +208,13 @@ class SimulationKernel:
             self.scheduler.invalidate(j)
 
     def _finished(self) -> bool:
+        """Whether the run reached its horizon (scenario) or first rounds."""
         if self.scenario is not None:
             return self.total_intervals >= self.scenario.horizon_intervals
-        return all(c.done_first_round for c in self.cores)
+        return self._first_rounds_done >= len(self.cores)
 
     def run(self) -> RunResult:
+        """Drive the event loop to completion and score the run."""
         t0 = time.perf_counter()
         self.manager.attach(self.bridge)
         scheduler = self.scheduler
@@ -197,7 +225,7 @@ class SimulationKernel:
         while not self._finished():
             events += 1
             require(events <= MAX_EVENTS, "event cap exceeded (manager thrashing?)")
-            if self.scenario is not None and not any(c.active for c in cores):
+            if self.scenario is not None and tenancy.n_active == 0:
                 # Every core idles: jump to the next pending request (which
                 # must exist, or the scenario can never reach its horizon).
                 head = tenancy.next_pending_ns()

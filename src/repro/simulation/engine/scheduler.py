@@ -52,6 +52,7 @@ class CompletionScheduler:
         self._valid[core_id] = False
 
     def invalidate_all(self) -> None:
+        """Drop every cached entry (system-wide reconfiguration)."""
         for j in range(len(self._valid)):
             self._valid[j] = False
 
@@ -75,11 +76,13 @@ class CompletionScheduler:
         return self._rec[core_id]
 
     def tpi(self, core_id: int) -> float:
+        """Cached time-per-instruction of the core's slice at its allocation."""
         if not self._valid[core_id]:
             self._refresh(core_id)
         return self._tpi[core_id]
 
     def epi(self, core_id: int) -> float:
+        """Cached energy-per-instruction of the core's slice at its allocation."""
         if not self._valid[core_id]:
             self._refresh(core_id)
         return self._epi[core_id]

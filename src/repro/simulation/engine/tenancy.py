@@ -12,6 +12,16 @@ Every applied event invalidates the core's entry in the
 departures change tenancy, allocation-independent slack changes are
 invalidated too so the cached view is never stale relative to the core
 state (the recomputation is a no-op numerically).
+
+Many-core scale: the model keeps an index of cores with *non-empty*
+pending queues and a live count of active cores, so the per-event work of
+:meth:`TenancyModel.apply_due` and the kernel's all-idle check is
+proportional to the number of cores that still have scenario requests --
+not to the system size.  At 4 cores that is noise; at 256 cores the
+previous every-core scans were a per-event tax on every manager.
+Hierarchical (clustered) managers receive the same per-core
+``on_scenario_event`` notifications and route them to their cluster tier
+internally.
 """
 
 from __future__ import annotations
@@ -40,6 +50,7 @@ class TenancyModel:
         scenario: Scenario | None,
         max_slices: int | None,
     ) -> None:
+        """Queue each core's scenario requests and index the non-empty queues."""
         self.system = system
         self.db = db
         self.cores = cores
@@ -51,10 +62,16 @@ class TenancyModel:
             deque(scenario.events_for(j)) if scenario is not None else deque()
             for j in range(system.ncores)
         ]
+        # Cores whose queues still hold requests, ascending; apply_due walks
+        # only these instead of every core on every global event.
+        self._pending_cores: list[int] = sorted(
+            k for k, q in enumerate(self.pending) if q
+        )
+        self.n_active: int = sum(1 for c in cores if c.active)
 
     def next_pending_ns(self) -> float:
         """Earliest pending request time, ``inf`` if none remain."""
-        heads = [q[0].time_ns for q in self.pending if q]
+        heads = [self.pending[k][0].time_ns for k in self._pending_cores]
         return min(heads) if heads else math.inf
 
     def apply_event(self, core: CoreRun, ev: ScenarioEvent, now: float) -> None:
@@ -64,6 +81,8 @@ class TenancyModel:
             self.scheduler.invalidate(core.core_id)
             return
         if ev.kind == "depart":
+            if core.active:
+                self.n_active -= 1
             core.active = False
             core.instr_done = 0.0
             core.pending_stall_ns = 0.0
@@ -81,6 +100,8 @@ class TenancyModel:
         core.slice_idx = 0
         core.instr_done = 0.0
         core.rounds = 0
+        if not core.active:
+            self.n_active += 1
         core.active = True
         core.interval_start_ns = now
         core.energy_interval_start_nj = core.energy_nj
@@ -98,10 +119,14 @@ class TenancyModel:
 
         A busy core only picks up requests at its own interval boundary
         (``completed_core``); idle cores, which have no boundaries, pick
-        theirs up at any global event.
+        theirs up at any global event.  Only cores with non-empty queues are
+        visited, in ascending core order -- the same application order as a
+        full scan, so replays stay bit-identical.
         """
         tenancy_changed = False
-        for k, queue in enumerate(self.pending):
+        drained = False
+        for k in self._pending_cores:
+            queue = self.pending[k]
             core = self.cores[k]
             while queue and queue[0].time_ns <= now and (
                 k == completed_core or not core.active
@@ -110,4 +135,7 @@ class TenancyModel:
                 self.apply_event(core, ev, now)
                 if k == completed_core and ev.kind in ("swap", "depart"):
                     tenancy_changed = True
+            drained = drained or not queue
+        if drained:
+            self._pending_cores = [k for k in self._pending_cores if self.pending[k]]
         return tenancy_changed

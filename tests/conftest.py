@@ -53,3 +53,16 @@ def db8(system8):
     return build_database(
         system8, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
     )
+
+
+@pytest.fixture(scope="session")
+def system16():
+    return default_system(ncores=16)
+
+
+@pytest.fixture(scope="session")
+def db16(system16):
+    """Small-suite 16-core database for the cluster-tier bounded-gap tests."""
+    return build_database(
+        system16, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
+    )

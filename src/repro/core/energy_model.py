@@ -14,8 +14,27 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.cpu.counters import CounterSnapshot
 from repro.cpu.dvfs import voltage_ratio, voltage_ratio_sq
+from repro.util.identity_memo import identity_memo
 
 __all__ = ["predict_epi_grid", "predict_epi_grid_batch"]
+
+#: Per-system model constants (voltage ratios, core-size factors), memoised
+#: by object identity: they are pure functions of the immutable
+#: SystemConfig and were rebuilt on every grid prediction.
+_CONSTS: dict[int, tuple] = {}
+
+
+def _build_constants(system: SystemConfig) -> tuple:
+    freqs = system.vf.freqs_array()
+    vr = voltage_ratio(system.vf, freqs)
+    vr2 = voltage_ratio_sq(system.vf, freqs)
+    epi_factors = np.array([c.epi_factor for c in system.core_sizes])
+    leak_factors = np.array([c.leak_factor for c in system.core_sizes])
+    return vr, vr2, epi_factors, leak_factors
+
+
+def _system_constants(system: SystemConfig) -> tuple:
+    return identity_memo(_CONSTS, system, _build_constants)
 
 
 def predict_epi_grid(
@@ -25,11 +44,7 @@ def predict_epi_grid(
     tpi_hat: np.ndarray,
 ) -> np.ndarray:
     """Predicted ``EPI[c, f, w]`` (nJ/instr) for the next interval."""
-    freqs = system.vf.freqs_array()
-    vr = voltage_ratio(system.vf, freqs)
-    vr2 = voltage_ratio_sq(system.vf, freqs)
-    epi_factors = np.array([c.epi_factor for c in system.core_sizes])
-    leak_factors = np.array([c.leak_factor for c in system.core_sizes])
+    vr, vr2, epi_factors, leak_factors = _system_constants(system)
     ways = np.arange(1, len(mpki_hat) + 1, dtype=float)
     mpi = np.asarray(mpki_hat, dtype=float) / 1000.0
     api = snapshot.llc_accesses / snapshot.instructions
@@ -59,11 +74,7 @@ def predict_epi_grid_batch(
     Mirrors the per-core expressions term by term with a leading batch axis,
     so every ``[n]`` slice is bit-identical to the scalar call.
     """
-    freqs = system.vf.freqs_array()
-    vr = voltage_ratio(system.vf, freqs)
-    vr2 = voltage_ratio_sq(system.vf, freqs)
-    epi_factors = np.array([c.epi_factor for c in system.core_sizes])
-    leak_factors = np.array([c.leak_factor for c in system.core_sizes])
+    vr, vr2, epi_factors, leak_factors = _system_constants(system)
     ways = np.arange(1, mpki_batch.shape[1] + 1, dtype=float)
     mpi = np.asarray(mpki_batch, dtype=float) / 1000.0               # (N, W)
     epi_dyn = np.array([s.epi_dyn_est_nj for s in snapshots])

@@ -55,7 +55,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Node:
     """A (possibly combined) curve over total allocated ways."""
 
@@ -67,6 +67,17 @@ class _Node:
     right: "_Node | None" = None
     split: np.ndarray | None = None       # ways given to the left child per s
     dp_cells: int = 0                     # DP work a from-scratch combine does
+    leaf_ids: tuple[int, ...] = ()        # core ids of the leaves underneath
+    # (tree, way total) this node received on the most recent back-track
+    # walk.  Combines always build fresh nodes, so a surviving stamp
+    # certifies the whole subtree (and therefore its assignment at that
+    # total) unchanged since that walk -- ReductionTree.solve prunes the
+    # walk on it.  The tree is part of the stamp because cluster-tier
+    # nodes are shared between a cluster tree and the second-level tree:
+    # a stamp is only valid against the *stamping* tree's previous
+    # assignment.
+    last_s: int | None = None
+    last_tree: object = None
 
 
 def _leaf(curve: EnergyCurve, min_ways: int, cap: int) -> _Node:
@@ -81,7 +92,72 @@ def _leaf(curve: EnergyCurve, min_ways: int, cap: int) -> _Node:
     """
     epi = curve.epi[min_ways - 1 : cap].copy()
     return _Node(min_ways=min_ways, max_ways=min(curve.max_ways, cap), epi=epi,
-                 curve=curve)
+                 curve=curve, leaf_ids=(curve.core_id,))
+
+
+#: Memoised in-range DP cell counts per (left width, right width, sums):
+#: the count is a pure function of the three shapes and recurs for every
+#: combine at the same tree position, so the per-combine NumPy reduction
+#: collapses to a dict lookup.
+_DP_CELLS_MEMO: dict[tuple[int, int, int], int] = {}
+
+
+def _dp_cell_count(na: int, nb: int, nk: int) -> int:
+    """DP work of one combine: the in-range (sl, s - sl) pairs per sum."""
+    key = (na, nb, nk)
+    cells = _DP_CELLS_MEMO.get(key)
+    if cells is None:
+        cells = sum(min(k + 1, na, nb, na + nb - 1 - k) for k in range(nk))
+        _DP_CELLS_MEMO[key] = cells
+    return cells
+
+
+#: Cached ``np.arange`` vectors (read-only by convention): every combine at
+#: the same width re-creates the same index vector otherwise.
+_ARANGE_MEMO: dict[int, np.ndarray] = {}
+
+
+def _arange(n: int) -> np.ndarray:
+    ks = _ARANGE_MEMO.get(n)
+    if ks is None:
+        ks = np.arange(n)
+        _ARANGE_MEMO[n] = ks
+    return ks
+
+
+#: Reusable per-shape scratch buffers for the combine's padded input and
+#: anti-diagonal sum.  ``_combine`` is non-reentrant (tree reductions call
+#: it sequentially) and everything that outlives the call -- the winning
+#: energies and splits -- is materialised by copying fancy-index/argmin
+#: outputs, so recycling the intermediates is safe.
+_SCRATCH: dict[tuple, np.ndarray] = {}
+
+
+def _scratch(key: tuple, shape) -> np.ndarray:
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= 256:
+            _SCRATCH.clear()
+        buf = np.empty(shape)
+        _SCRATCH[key] = buf
+    return buf
+
+
+def _padded_scratch(na: int, nb: int) -> np.ndarray:
+    """Reusable combine input of width ``na`` between two ``inf`` pads.
+
+    The pads are invariant per (na, nb) shape, so they are filled once at
+    creation; each combine only overwrites the middle with its left-child
+    energies.
+    """
+    key = ("pad", na, nb)
+    buf = _SCRATCH.get(key)
+    if buf is None:
+        if len(_SCRATCH) >= 256:
+            _SCRATCH.clear()
+        buf = np.full(na + 2 * (nb - 1), np.inf)
+        _SCRATCH[key] = buf
+    return buf
 
 
 def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node:
@@ -101,21 +177,27 @@ def _combine(a: _Node, b: _Node, cap: int, meter: OverheadMeter | None) -> _Node
     require(hi >= lo, "combined curve has empty range")
     na, nb = len(a.epi), len(b.epi)
     nk = hi - lo + 1
-    pad = np.full(nb - 1, np.inf)
-    padded = np.concatenate([pad, a.epi, pad])
-    windows = np.lib.stride_tricks.sliding_window_view(padded, nb)[:nk]
-    totals = windows + b.epi[::-1]
+    padded = _padded_scratch(na, nb)
+    padded[nb - 1 : nb - 1 + na] = a.epi
+    stride = padded.strides[0]
+    windows = np.ndarray((nk, nb), dtype=np.float64, buffer=padded,
+                         strides=(stride, stride))
+    totals = _scratch(("sum", nk, nb), (nk, nb))
+    np.add(windows, b.epi[::-1], out=totals)
     m = np.argmin(totals, axis=1)
-    ks = np.arange(nk)
+    ks = _arange(nk)
     epi = totals[ks, m]
-    split = a.min_ways + ks + m - (nb - 1)
+    # Reuse the argmin buffer for the split vector (in-place, same values
+    # as the expression form ``a.min_ways + ks + m - (nb - 1)``).
+    split = m
+    split += ks
+    split += a.min_ways - (nb - 1)
     # DP work actually required per s: the in-range (sl, s - sl) pairs.
-    cells = int(np.minimum.reduce([ks + 1, np.full(nk, na), np.full(nk, nb),
-                                   na + nb - 1 - ks]).sum())
+    cells = _dp_cell_count(na, nb, nk)
     if meter is not None:
         meter.charge_dp(cells)
     return _Node(min_ways=lo, max_ways=hi, epi=epi, left=a, right=b, split=split,
-                 dp_cells=cells)
+                 dp_cells=cells, leaf_ids=a.leaf_ids + b.leaf_ids)
 
 
 def _assign(node: _Node, s: int, out: dict[int, tuple[int, int, int]]) -> None:
@@ -198,16 +280,29 @@ def cluster_way_caps(
     return tuple(caps)
 
 
-def _select(root: _Node, nleaves: int, total_ways: int) -> dict[int, tuple[int, int, int]] | None:
-    """Pick the root's way total and back-track the per-core assignment."""
+def _select_total(root: _Node, nleaves: int, total_ways: int) -> int | None:
+    """The root's way total for back-tracking, or None if infeasible.
+
+    One shared selection rule for the from-scratch and persistent solvers:
+    a single core owns the whole cache (clamped to its curve's width);
+    otherwise the full associativity must be distributed, and the root's
+    energy there must be finite.
+    """
     if nleaves == 1:
-        # Single core owns the whole cache.
         s = min(total_ways, root.max_ways)
     else:
         s = total_ways
     if not (root.min_ways <= s <= root.max_ways):
         return None
     if not np.isfinite(root.epi[s - root.min_ways]):
+        return None
+    return s
+
+
+def _select(root: _Node, nleaves: int, total_ways: int) -> dict[int, tuple[int, int, int]] | None:
+    """Pick the root's way total and back-track the per-core assignment."""
+    s = _select_total(root, nleaves, total_ways)
+    if s is None:
         return None
     out: dict[int, tuple[int, int, int]] = {}
     _assign(root, s, out)
@@ -258,10 +353,30 @@ class ReductionTree:
             [None] * len(level) for level in self._slots
         ]
         self._dirty: list[list[bool]] = [[True] * len(row) for row in self._nodes]
+        # Any-dirty flag plus cached root: a refresh of a fully clean tree
+        # is one replay charge, not a per-slot walk.
+        self._dirty_any = True
+        self._root: _Node | None = None
+        # Total DP cells of every combine node currently in the tree (what a
+        # from-scratch rebuild would charge), maintained by refresh.
+        self._replay_cells = 0
+        # The previous solve's full assignment, backing the pruned walk.
+        self._last_assignment: dict[int, tuple[int, int, int]] | None = None
+
+    @property
+    def replay_cells(self) -> int:
+        """DP cells a refresh of this tree in its current (clean) state
+        replays to the meter: the summed cost of every combine node, i.e.
+        what a from-scratch rebuild over the same leaves would charge.
+        Valid after a refresh; callers batching clean-tree charges (the
+        hierarchical manager's stale-cluster skip) read it instead of
+        walking the tree."""
+        return self._replay_cells
 
     def invalidate(self, core_id: int) -> None:
         """Force the leaf dirty (the tenant behind it was spliced in/out)."""
         self._dirty[0][core_id] = True
+        self._dirty_any = True
 
     def set_leaf(self, core_id: int, curve: EnergyCurve) -> None:
         """Install a leaf curve, marking it dirty only if it changed."""
@@ -273,6 +388,30 @@ class ReductionTree:
         self._curves[core_id] = curve
         self._nodes[0][core_id] = _leaf(curve, self.min_ways, self.total_ways)
         self._dirty[0][core_id] = True
+        self._dirty_any = True
+
+    def set_leaves(self, curves: list[EnergyCurve]) -> None:
+        """Install one curve per leaf slot, in slot order (grouped refresh).
+
+        Equivalent to ``set_leaf(i, curves[i])`` for every slot, with the
+        per-call plumbing hoisted: the hierarchical manager refreshes a
+        whole cluster's leaves with one call per invocation instead of a
+        per-core method walk.
+        """
+        require(len(curves) == self.ncores, "need exactly one curve per leaf")
+        held = self._curves
+        dirty = self._dirty[0]
+        nodes = self._nodes[0]
+        for i, curve in enumerate(curves):
+            prev = held[i]
+            if not dirty[i] and prev is not None:
+                if prev is curve or prev.same_curve(curve):
+                    held[i] = curve
+                    continue
+            held[i] = curve
+            nodes[i] = _leaf(curve, self.min_ways, self.total_ways)
+            dirty[i] = True
+            self._dirty_any = True
 
     def set_leaf_node(self, slot: int, node: _Node, dirty: bool) -> None:
         """Install a prebuilt aggregate node as leaf ``slot`` (cluster tier).
@@ -288,16 +427,27 @@ class ReductionTree:
         self._nodes[0][slot] = node
         if dirty:
             self._dirty[0][slot] = True
+            self._dirty_any = True
 
     def refresh(self, meter: OverheadMeter | None = None) -> tuple[_Node, bool]:
         """Re-combine the dirty root paths; return ``(root, changed)``.
 
         ``changed`` reports whether the root node was rebuilt this call --
         the signal a second-level tree needs to decide whether this tree's
-        aggregate leaf is dirty.  Clean combine nodes re-charge their cached
-        DP-cell counts on ``meter`` (see :meth:`solve`).
+        aggregate leaf is dirty.  Skipped combine work still re-charges its
+        cached DP-cell counts on ``meter`` (see :meth:`solve`), batched into
+        one charge per refresh: the costs are exact integers, so one summed
+        charge is bit-identical to the per-node charges it replaces.  A
+        fully clean tree short-circuits to that single replay charge
+        without walking its slots at all.
         """
+        if not self._dirty_any and self._root is not None:
+            if meter is not None and self._replay_cells:
+                meter.charge_replay(dp_cells=self._replay_cells)
+            return self._root, False
         require(all(n is not None for n in self._nodes[0]), "every leaf needs a curve")
+        replay_cells = 0
+        total_cells = 0
         for lvl, level in enumerate(self._slots, start=1):
             nodes, below = self._nodes[lvl], self._nodes[lvl - 1]
             dirty, dirty_below = self._dirty[lvl], self._dirty[lvl - 1]
@@ -309,23 +459,73 @@ class ReductionTree:
                     continue
                 node = nodes[s]
                 if node is None or dirty_below[a] or dirty_below[b]:
-                    nodes[s] = _combine(below[a], below[b], self.total_ways, meter)
+                    node = _combine(below[a], below[b], self.total_ways, meter)
+                    nodes[s] = node
                     dirty[s] = True
-                elif meter is not None:
+                else:
                     # Clean subtree: replay the DP cost a rebuild would pay.
-                    meter.charge_replay(dp_cells=node.dp_cells)
+                    replay_cells += node.dp_cells
+                total_cells += node.dp_cells
+        if meter is not None and replay_cells:
+            meter.charge_replay(dp_cells=replay_cells)
+        self._replay_cells = total_cells
         changed = self._dirty[-1][0]
         for row in self._dirty:
             for i in range(len(row)):
                 row[i] = False
-        return self._nodes[-1][0], changed
+        self._dirty_any = False
+        self._root = self._nodes[-1][0]
+        return self._root, changed
+
+    def _assign_pruned(
+        self,
+        node: _Node,
+        s: int,
+        out: dict[int, tuple[int, int, int]],
+        prev: dict[int, tuple[int, int, int]] | None,
+    ) -> None:
+        """Back-track ``node`` at way total ``s``, reusing unchanged subtrees.
+
+        A node whose ``(last_tree, last_s)`` stamp equals ``(self, s)`` has
+        not been rebuilt since a walk *by this tree* that gave it the same
+        total (combines always produce fresh, unstamped nodes), so its
+        subtree's assignment is the one this tree's previous solve recorded
+        -- copy those entries instead of recursing.  Values are identical
+        by construction; only Python walk work is skipped.  The tree check
+        makes sharing nodes across trees (the cluster tier feeds cluster
+        roots into the second-level tree) structurally safe: another
+        tree's stamps never satisfy this tree's prune.
+        """
+        if prev is not None and node.last_s == s and node.last_tree is self:
+            for cid in node.leaf_ids:
+                out[cid] = prev[cid]
+            return
+        node.last_s = s
+        node.last_tree = self
+        if node.curve is not None:
+            out[node.curve.core_id] = node.curve.setting_at(s)
+            return
+        sl = int(node.split[s - node.min_ways])
+        self._assign_pruned(node.left, sl, out, prev)
+        self._assign_pruned(node.right, s - sl, out, prev)
 
     def solve(self, meter: OverheadMeter | None = None) -> dict[int, tuple[int, int, int]] | None:
         """Optimal assignment over the current leaves (or None if infeasible).
 
         Bit-identical to ``global_optimize(curves, total_ways, min_ways,
         meter)`` over the same curves, in both the assignment and the meter
-        charges.
+        charges.  The back-track walk is pruned against the previous
+        solve's assignment (see :meth:`_assign_pruned`), so its Python cost
+        scales with what actually changed, not with the core count.
         """
         root, _ = self.refresh(meter)
-        return _select(root, self.ncores, self.total_ways)
+        s = _select_total(root, self.ncores, self.total_ways)
+        if s is None:
+            return None
+        prev = self._last_assignment
+        if prev is not None and root.last_s == s and root.last_tree is self:
+            return prev
+        out: dict[int, tuple[int, int, int]] = {}
+        self._assign_pruned(root, s, out, prev)
+        self._last_assignment = out
+        return out

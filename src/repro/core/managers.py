@@ -118,7 +118,13 @@ class ResourceManager(ABC):
 
     @abstractmethod
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
-        """Decide new allocations after ``core_id`` finished an interval."""
+        """Decide new allocations after ``core_id`` finished an interval.
+
+        The returned map is owned by the simulator from this point on and
+        must not be mutated in place afterwards; a manager re-serving a
+        fully cached decision may return the same dict object again, which
+        the kernel recognises as already applied.
+        """
 
 
 class StaticBaselineManager(ResourceManager):
@@ -160,16 +166,26 @@ class CoordinatedManager(ResourceManager):
         self.curves: dict[int, EnergyCurve] = {}
         self._tree: ReductionTree | None = None
         self._memo: dict = {}
+        self._memo_shared: dict = {}
         self._pinned_cache: dict[int, EnergyCurve] = {}
         self._idle_cache: dict[int, EnergyCurve] = {}
+        self._alloc_cache: dict[tuple[int, int, int], Allocation] = {}
+        self._alloc_out: tuple | None = None
+        self._rec_digests: dict[tuple, tuple[bytes, bytes]] = {}
 
     def attach(self, sim) -> None:
         """Reset all run state and (re)build the incremental reduction trees."""
         super().attach(sim)
         self.curves = {}
         self._memo = {}
+        self._memo_shared = {}
         self._pinned_cache = {}
         self._idle_cache = {}
+        self._alloc_cache = {}
+        self._alloc_out = None
+        # Per-run: a reattached manager may face a different database whose
+        # records reuse the same (bench, phase) identities.
+        self._rec_digests = {}
         self._tree = None
         if self.incremental:
             self._init_trees(sim.system)
@@ -285,30 +301,59 @@ class CoordinatedManager(ResourceManager):
         determines the output and a hit can never be stale: any QoS-ramp,
         swap or allocation change alters the key.  Hits replay the modelled
         grid cost so the metered overhead matches the recomputing reference.
-        Subclasses that override ``_analytical_curve`` (e.g. the
-        history-aware manager, whose curves also depend on accumulated phase
-        tables) bypass memoization entirely.
+
+        Memoization is two-level.  The per-core table serves repeat
+        invocations with the *same object*, which is what lets the
+        reduction tree recognise an unchanged leaf by identity.  Behind it,
+        a content-keyed table is shared across cores: the digest determines
+        the curve up to its ``core_id`` label (many-core scenario mixes run
+        the same phases at the same settings on many cores), so a
+        cross-core hit relabels the stored curve -- sharing its arrays --
+        charges the same replayed grid cost, and is bit-identical to
+        recomputing.  Subclasses that override ``_analytical_curve`` (e.g.
+        the history-aware manager, whose curves also depend on accumulated
+        phase tables) bypass memoization entirely.
         """
         if type(self)._analytical_curve is not CoordinatedManager._analytical_curve:
             return self._analytical_curve(core_id)
         sim = self.sim
         snap = sim.completed_snapshot(core_id)
         rec = sim.completed_record(core_id)
-        key = (
-            core_id,
-            snap,
-            np.asarray(rec.mpki_sampled).tobytes(),
-            np.asarray(rec.mlp_sampled).tobytes(),
-            sim.slack(core_id),
-        )
+        # Database records are immutable, so their sampled-curve digests are
+        # computed once per phase and reused (the key stays content-based:
+        # the bytes themselves go into it, not the phase identity).
+        digests = self._rec_digests.get((rec.bench, rec.phase_key))
+        if digests is None:
+            digests = (
+                np.asarray(rec.mpki_sampled).tobytes(),
+                np.asarray(rec.mlp_sampled).tobytes(),
+            )
+            self._rec_digests[(rec.bench, rec.phase_key)] = digests
+        content = (snap, digests[0], digests[1], sim.slack(core_id))
+        key = (core_id, content)
         hit = self._memo.get(key)
         if hit is not None:
             curve, points = hit
             self.meter.charge_replay(grid_points=points)
             return curve
+        shared = self._memo_shared.get(content)
+        if shared is not None:
+            curve, points = shared
+            if curve.core_id != core_id:
+                curve = EnergyCurve(
+                    core_id=core_id, epi=curve.epi,
+                    freq_idx=curve.freq_idx, core_idx=curve.core_idx,
+                )
+            self._memo_put(key, curve, points)
+            self.meter.charge_replay(grid_points=points)
+            return curve
         before = self.meter.grid_points
         curve = self._analytical_curve(core_id)
-        self._memo_put(key, curve, self.meter.grid_points - before)
+        points = self.meter.grid_points - before
+        self._memo_put(key, curve, points)
+        if len(self._memo_shared) >= MEMO_CAP:
+            self._memo_shared.clear()
+        self._memo_shared[content] = (curve, points)
         return curve
 
     def _oracle_leaves(self) -> dict[int, EnergyCurve]:
@@ -370,6 +415,47 @@ class CoordinatedManager(ResourceManager):
             return self.curves[core_id]
         return self._static_leaf(core_id, idle=False)
 
+    def _inactive_cores(self) -> frozenset[int]:
+        """Ids of power-gated cores, read once per invocation.
+
+        Uses the simulator's batched activity accessors where they exist
+        (one vector read of the struct-of-arrays state); the frozen legacy
+        reference only offers the per-core ``is_active`` probe.
+        """
+        sim = self.sim
+        inactive_fn = getattr(sim, "inactive_core_ids", None)
+        if inactive_fn is not None:
+            return frozenset(inactive_fn())
+        n = sim.system.ncores
+        active_fn = getattr(sim, "active_core_ids", None)
+        if active_fn is not None:
+            active = active_fn()
+            if len(active) == n:
+                return frozenset()
+            return frozenset(range(n)).difference(active)
+        return frozenset(j for j in range(n) if not sim.is_active(j))
+
+    def _live_leaves(self, core_ids, oracle_leaves, inactive) -> list[EnergyCurve]:
+        """Batched :meth:`_live_leaf` over ``core_ids`` (same selection rule).
+
+        ``inactive`` is the invocation-wide :meth:`_inactive_cores` set, so
+        a system-wide leaf refresh performs one activity read instead of a
+        per-core bridge round-trip.
+        """
+        if oracle_leaves is not None:
+            return [
+                curve if (curve := oracle_leaves.get(j)) is not None
+                else self._static_leaf(j, idle=True)
+                for j in core_ids
+            ]
+        curves = self.curves
+        return [
+            self._static_leaf(j, idle=True) if j in inactive
+            else (held if (held := curves.get(j)) is not None
+                  else self._static_leaf(j, idle=False))
+            for j in core_ids
+        ]
+
     def _begin_decision(self, core_id: int) -> dict[int, EnergyCurve] | None:
         """Shared invocation prologue: meter, curve refresh, oracle leaves."""
         self.meter.begin_invocation()
@@ -378,15 +464,33 @@ class CoordinatedManager(ResourceManager):
         self.curves[core_id] = self._analytical_curve_memo(core_id)
         return None
 
-    @staticmethod
-    def _to_allocations(assignment) -> dict[int, Allocation] | None:
-        """Convert a solved ``{core: (c, f, w)}`` map into allocations."""
+    def _to_allocations(self, assignment) -> dict[int, Allocation] | None:
+        """Convert a solved ``{core: (c, f, w)}`` map into allocations.
+
+        Allocation objects are cached per setting, so a core whose setting
+        did not change receives the *same* object as last invocation and
+        the kernel's apply loop skips it on identity alone.  A fully cached
+        solve (the reduction tree returning its previous assignment object)
+        short-circuits to the previous allocation map -- the same dict
+        object, which the kernel recognises as already applied.  Returned
+        maps are treated as immutable by that contract.
+        """
         if assignment is None:
             return None
-        return {
-            j: Allocation(core=c, freq=f, ways=w)
-            for j, (c, f, w) in assignment.items()
-        }
+        cached = self._alloc_out
+        if cached is not None and cached[0] is assignment:
+            return cached[1]
+        cache = self._alloc_cache
+        out: dict[int, Allocation] = {}
+        for j, setting in assignment.items():
+            alloc = cache.get(setting)
+            if alloc is None:
+                c, f, w = setting
+                alloc = Allocation(core=c, freq=f, ways=w)
+                cache[setting] = alloc
+            out[j] = alloc
+        self._alloc_out = (assignment, out)
+        return out
 
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
         """Decide new allocations after ``core_id`` finished an interval."""
@@ -395,8 +499,10 @@ class CoordinatedManager(ResourceManager):
         system = self.sim.system
         oracle_leaves = self._begin_decision(core_id)
         tree = self._tree
-        for j in range(system.ncores):
-            tree.set_leaf(j, self._live_leaf(j, oracle_leaves))
+        tree.set_leaves(
+            self._live_leaves(range(system.ncores), oracle_leaves,
+                              self._inactive_cores())
+        )
         return self._to_allocations(tree.solve(self.meter))
 
     def _on_interval_reference(self, core_id: int) -> dict[int, Allocation] | None:
@@ -487,6 +593,12 @@ class ClusteredManager(CoordinatedManager):
         self._cluster_trees: list[ReductionTree] = []
         self._cluster_of: dict[int, tuple[int, int]] = {}
         self._level2: ReductionTree | None = None
+        # Clusters whose leaf inputs may have changed since their last
+        # grouped refresh (see on_interval).
+        self._stale_clusters: set[int] = set()
+        # Per-cluster (root node, replay DP cells) of the last real refresh,
+        # so clean clusters skip their tree walk wholesale.
+        self._cluster_roots: list = []
 
     def _init_trees(self, system: SystemConfig) -> None:
         """Per-cluster capped trees plus the second-level combine tree."""
@@ -507,6 +619,8 @@ class ClusteredManager(CoordinatedManager):
         self._level2 = ReductionTree(
             len(self._clusters), system.llc.ways, system.min_ways_per_core
         )
+        self._stale_clusters = set(range(len(self._clusters)))
+        self._cluster_roots = [None] * len(self._clusters)
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
         """Splice the affected cluster leaf on a tenancy change."""
@@ -516,18 +630,52 @@ class ClusteredManager(CoordinatedManager):
         if self._cluster_trees:
             ci, local = self._cluster_of[core_id]
             self._cluster_trees[ci].invalidate(local)
+            self._stale_clusters.add(ci)
 
     def on_interval(self, core_id: int) -> dict[int, Allocation] | None:
-        """Two-level decision: refresh cluster trees, combine their roots."""
+        """Two-level decision: refresh cluster trees, combine their roots.
+
+        Leaf refreshes are grouped: each cluster receives its member curves
+        in one :meth:`~repro.core.global_opt.ReductionTree.set_leaves` call
+        and one :meth:`~repro.core.global_opt.ReductionTree.refresh`, so a
+        system-wide reallocation costs one grouped refresh per cluster (a
+        fully clean cluster short-circuits to a single replay charge)
+        instead of per-core tree walks.
+        """
         oracle_leaves = self._begin_decision(core_id)
         level2 = self._level2
+        meter = self.meter
+        # A cluster's leaves are a pure function of the held/oracle curves
+        # and the active set; both change only at the invoking core
+        # (_begin_decision) or via on_scenario_event, so clusters outside
+        # the stale set can skip leaf installation outright.  Oracle curves
+        # additionally move with every phase boundary, so oracle mode
+        # refreshes every cluster's leaves.
+        stale = self._stale_clusters
+        stale.add(self._cluster_of[core_id][0])
+        if self.oracle:
+            stale = set(range(len(self._clusters)))
+        inactive = self._inactive_cores() if oracle_leaves is None else frozenset()
+        roots = self._cluster_roots
+        replay_cells = 0
         for ci, members in enumerate(self._clusters):
+            cached = roots[ci]
+            if ci not in stale and cached is not None:
+                # Clean cluster: its root already sits in the second-level
+                # tree; batch the replay charge its refresh would make
+                # (exact integer DP-cell counts, so one summed charge is
+                # bit-identical to the per-tree charges it replaces).
+                replay_cells += cached[1]
+                continue
             tree = self._cluster_trees[ci]
-            for local, j in enumerate(members):
-                tree.set_leaf(local, self._live_leaf(j, oracle_leaves))
-            root, changed = tree.refresh(self.meter)
+            tree.set_leaves(self._live_leaves(members, oracle_leaves, inactive))
+            root, changed = tree.refresh(meter)
             level2.set_leaf_node(ci, root, changed)
-        return self._to_allocations(level2.solve(self.meter))
+            roots[ci] = (root, tree.replay_cells)
+        if replay_cells:
+            meter.charge_replay(dp_cells=replay_cells)
+        self._stale_clusters = set()
+        return self._to_allocations(level2.solve(meter))
 
 
 def _make_manager(

@@ -28,6 +28,7 @@ import numpy as np
 from repro.config import SystemConfig
 from repro.cpu.counters import CounterSnapshot
 from repro.cpu.microarch import ilp_cpi_factor
+from repro.util.identity_memo import identity_memo
 from repro.util.validation import require
 
 __all__ = [
@@ -86,6 +87,16 @@ def exec_cpi_estimate_batch(
     return np.maximum(out, inv_width[None, :])
 
 
+#: Per-system frequency vector, memoised by object identity (pure function
+#: of the immutable SystemConfig, rebuilt on every grid prediction
+#: otherwise).
+_FREQS: dict[int, tuple] = {}
+
+
+def _freqs_of(system: SystemConfig) -> np.ndarray:
+    return identity_memo(_FREQS, system, lambda s: s.vf.freqs_array())
+
+
 def predict_tpi_grid(
     system: SystemConfig,
     snapshot: CounterSnapshot,
@@ -93,7 +104,7 @@ def predict_tpi_grid(
     mlp_hat: np.ndarray,
 ) -> np.ndarray:
     """Predicted ``TPI[c, f, w]`` (ns/instr) for the next interval."""
-    freqs = system.vf.freqs_array()
+    freqs = _freqs_of(system)
     exec_cpi = exec_cpi_estimate(system, snapshot)               # (C,)
     mpi = np.asarray(mpki_hat, dtype=float) / 1000.0             # (W,)
     mem_tpi = (mpi[None, :] / mlp_hat) * snapshot.avg_mem_latency_ns  # (C, W)
@@ -115,7 +126,7 @@ def predict_tpi_grid_batch(
     ``(N, C, W)`` MLP estimates; every ``[n]`` slice is bit-identical to the
     per-core call (same expressions, same order, a leading batch axis only).
     """
-    freqs = system.vf.freqs_array()
+    freqs = _freqs_of(system)
     exec_cpi = exec_cpi_estimate_batch(system, snapshots)            # (N, C)
     mpi = np.asarray(mpki_batch, dtype=float) / 1000.0               # (N, W)
     latency = np.array([s.avg_mem_latency_ns for s in snapshots])

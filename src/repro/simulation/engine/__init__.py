@@ -3,8 +3,11 @@
 The monolithic replay loop of the original :mod:`repro.simulation.rma_sim`
 is decomposed into four components with one orchestrator:
 
-* :mod:`~repro.simulation.engine.core_state` -- :class:`CoreRun`, the
-  mutable per-core execution state, plus the advance/charge mechanics;
+* :mod:`~repro.simulation.engine.core_state` -- :class:`CoreArrays`, the
+  struct-of-arrays hot-path state (one NumPy vector per field) behind the
+  vectorised per-event advance and next-completion argmin, and
+  :class:`CoreRun`, the thin per-core view the slow path works with, plus
+  the scalar advance/charge reference mechanics;
 * :mod:`~repro.simulation.engine.scheduler` --
   :class:`CompletionScheduler`, which owns the per-core completion-time
   computation and caches each core's (record, tpi, epi) triple,
@@ -27,12 +30,13 @@ equivalence suite enforces this.
 """
 
 from repro.simulation.engine.bridge import ManagerBridge
-from repro.simulation.engine.core_state import CoreRun, advance_core
+from repro.simulation.engine.core_state import CoreArrays, CoreRun, advance_core
 from repro.simulation.engine.kernel import MAX_EVENTS, SimulationKernel
 from repro.simulation.engine.scheduler import CompletionScheduler
 from repro.simulation.engine.tenancy import TenancyModel
 
 __all__ = [
+    "CoreArrays",
     "CoreRun",
     "advance_core",
     "CompletionScheduler",

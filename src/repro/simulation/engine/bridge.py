@@ -9,6 +9,8 @@ bridge, and every read a manager performs goes through it.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import Allocation
 from repro.simulation.database import PhaseRecord
 from repro.util.validation import require
@@ -53,8 +55,24 @@ class ManagerBridge:
 
     # -- batched accessors (the vectorised manager pipeline) -------------------
     def active_core_ids(self) -> list[int]:
-        """Cores currently executing a tenant, in core order."""
-        return [c.core_id for c in self._kernel.cores if c.active]
+        """Cores currently executing a tenant, in core order.
+
+        One vector read of the struct-of-arrays active mask (plain ``int``
+        ids, so they key manager dicts exactly like the per-core path's).
+        """
+        return [int(j) for j in np.nonzero(self._kernel.arrays.active)[0]]
+
+    def inactive_core_ids(self) -> list[int]:
+        """Cores currently idle (power-gated), in core order.
+
+        The complement of :meth:`active_core_ids`, with an all-active fast
+        path -- the common case on fixed workloads, where managers would
+        otherwise materialise the full id list just to learn nothing idles.
+        """
+        mask = self._kernel.arrays.active
+        if mask.all():
+            return []
+        return [int(j) for j in np.nonzero(~mask)[0]]
 
     def upcoming_records(self, core_ids: list[int]) -> list[PhaseRecord]:
         """Batched :meth:`upcoming_record`: one scheduler read per core.

@@ -22,11 +22,17 @@ One iteration = one global event = the earliest completion of a
 Accounting is bit-identical to :mod:`repro.simulation.legacy_sim`, the
 frozen pre-refactor reference; the golden equivalence suite enforces it.
 
-Many-core notes: per-event bookkeeping that used to scan every core (the
-all-idle check, the every-core-finished check) reads counters maintained
-incrementally by the tenancy model and the completion bookkeeping instead,
-keeping the fixed per-event cost independent of the core count.  Scenario
-tenancy changes reach managers through per-core
+Many-core notes: the per-event hot path is vectorised over the
+struct-of-arrays core state
+(:class:`~repro.simulation.engine.core_state.CoreArrays`): step 1 is one
+masked argmin and step 2 one stall-then-retire vector update, replacing
+the two O(N) Python walks per event.  Per-event bookkeeping that used to
+scan every core (the all-idle check, the every-core-finished check) reads
+counters maintained incrementally by the tenancy model and the completion
+bookkeeping, and the way-budget audit of :meth:`SimulationKernel._apply`
+runs off a cached total updated by deltas -- the fixed per-event Python
+cost is independent of the core count.  Scenario tenancy changes reach
+managers through per-core
 :meth:`~repro.core.managers.ResourceManager.on_scenario_event` calls; the
 hierarchical :class:`~repro.core.managers.ClusteredManager` routes each
 notification to the owning cluster's reduction tree, so a swap or
@@ -35,6 +41,7 @@ departure splices only that cluster's ``O(log)`` path.
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.config import Allocation, SystemConfig
@@ -42,7 +49,7 @@ from repro.core.managers import ResourceManager
 from repro.scenarios.events import Scenario
 from repro.simulation.database import SimulationDatabase
 from repro.simulation.engine.bridge import ManagerBridge
-from repro.simulation.engine.core_state import CoreRun, advance_core
+from repro.simulation.engine.core_state import CoreArrays, CoreRun, advance_core
 from repro.simulation.engine.scheduler import CompletionScheduler
 from repro.simulation.engine.tenancy import TenancyModel
 from repro.simulation.metrics import AppResult, IntervalSample, RunResult
@@ -54,6 +61,19 @@ __all__ = ["SimulationKernel", "MAX_EVENTS"]
 
 #: Hard cap on simulated events (runaway-manager guard).
 MAX_EVENTS = 1_000_000
+
+#: Core count at or above which the per-event hot path uses the vectorised
+#: struct-of-arrays step.  Below it the scalar reference step is cheaper
+#: (NumPy's fixed per-call cost outweighs the interpreter loop on a
+#: handful of lanes -- measured crossover ~16 cores); both steps are
+#: bit-identical (tests/test_engine_vector.py), so this is purely a
+#: dispatch choice.
+VECTOR_MIN_CORES = 16
+
+#: Debug mode: recount every core's ways from scratch after each manager
+#: reallocation and assert it matches the delta-maintained total (set the
+#: REPRO_WAYS_AUDIT environment variable, or monkeypatch in tests).
+_WAYS_AUDIT = os.environ.get("REPRO_WAYS_AUDIT", "") not in ("", "0")
 
 
 class SimulationKernel:
@@ -87,6 +107,7 @@ class SimulationKernel:
         self.scenario = scenario
         self.max_slices = max_slices
         base = system.baseline_allocation()
+        self.arrays = CoreArrays(system.ncores)
         self.cores: list[CoreRun] = []
         for j, app in enumerate(workload.apps):
             seq = db.phase_sequence(app)
@@ -94,10 +115,10 @@ class SimulationKernel:
                 seq = seq[:max_slices]
             active = scenario.active[j] if scenario is not None else True
             self.cores.append(
-                CoreRun(core_id=j, app=app, seq=seq, slack=workload.slack[j],
-                        alloc=base, active=active)
+                CoreRun(self.arrays, core_id=j, app=app, seq=seq,
+                        slack=workload.slack[j], alloc=base, active=active)
             )
-        self.scheduler = CompletionScheduler(system, db, self.cores)
+        self.scheduler = CompletionScheduler(system, db, self.cores, self.arrays)
         self.tenancy = TenancyModel(
             system, db, self.cores, self.scheduler, manager, scenario, max_slices
         )
@@ -108,6 +129,13 @@ class SimulationKernel:
         # Cores that have completed their first trace round, maintained in
         # _complete_interval so _finished() is O(1) at any core count.
         self._first_rounds_done = 0
+        # Sum of every core's allocated ways, maintained by deltas in
+        # _apply so the per-reallocation way-budget audit needs no O(N)
+        # recount (debug mode recounts and asserts, see _WAYS_AUDIT).
+        self._ways_total = sum(c.alloc.ways for c in self.cores)
+        #: Global events simulated by the last run() (replay throughput
+        #: denominator for the scaling benchmarks).
+        self.events_simulated = 0
 
     # ---- manager-facing API (delegated to the bridge) ------------------------
     def slack(self, core_id: int) -> float:
@@ -184,17 +212,28 @@ class SimulationKernel:
 
     def _apply(self, allocations: dict[int, Allocation]) -> None:
         system = self.system
-        total = sum(a.ways for a in allocations.values())
-        missing = [c for c in self.cores if c.core_id not in allocations]
-        total += sum(c.alloc.ways for c in missing)
+        cores = self.cores
+        # One scan finds the (typically few) entries that differ from the
+        # current setting -- Allocation objects are identity-cached by the
+        # managers, so unchanged cores fail the `is not` probe -- and
+        # audits the way budget off the maintained total plus their deltas:
+        # no per-core recount, and (like the reference) the check fires
+        # before any allocation is mutated.  Entries equal in value but not
+        # identity contribute a zero delta either way.
+        total = self._ways_total
+        changed: list[tuple[int, Allocation]] = []
+        for j, new in allocations.items():
+            cur = cores[j].alloc
+            if new is cur or new == cur:
+                continue
+            total += new.ways - cur.ways
+            changed.append((j, new))
         require(
             total == system.llc.ways,
             f"manager allocated {total} ways, LLC has {system.llc.ways}",
         )
-        for j, new in allocations.items():
-            core = self.cores[j]
-            if new == core.alloc:
-                continue
+        for j, new in changed:
+            core = cores[j]
             if not core.active:
                 # Reconfiguring an idle (power-gated) core is free: there is
                 # nothing to stall and nothing executing to charge.
@@ -206,6 +245,13 @@ class SimulationKernel:
             core.energy_nj += cost.energy_nj
             core.alloc = new
             self.scheduler.invalidate(j)
+        self._ways_total = total
+        if _WAYS_AUDIT:
+            recount = sum(c.alloc.ways for c in cores)
+            assert recount == self._ways_total, (
+                f"way-budget audit drift: recount {recount} != "
+                f"maintained total {self._ways_total}"
+            )
 
     def _finished(self) -> bool:
         """Whether the run reached its horizon (scenario) or first rounds."""
@@ -219,9 +265,19 @@ class SimulationKernel:
         self.manager.attach(self.bridge)
         scheduler = self.scheduler
         tenancy = self.tenancy
+        arrays = self.arrays
         cores = self.cores
         interval_instr = self.system.interval_instructions
+        instr_done = arrays.instr_done
+        energy_nj = arrays.energy_nj
+        pending_stall_ns = arrays.pending_stall_ns
+        epi = arrays.epi
+        # Vector step for many-core systems, scalar step below the
+        # crossover -- the two are bit-identical lane by lane, so the
+        # dispatch never changes results.
+        use_vector = self.system.ncores >= VECTOR_MIN_CORES
         events = 0
+        last_applied = None
         while not self._finished():
             events += 1
             require(events <= MAX_EVENTS, "event cap exceeded (manager thrashing?)")
@@ -234,17 +290,23 @@ class SimulationKernel:
                 self.time_ns = max(self.time_ns, head)
                 tenancy.apply_due(self.time_ns, completed_core=None)
                 continue
-            j, dt = scheduler.next_completion()
-            for core in cores:
-                if core.core_id == j:
-                    # Exact completion: retire the interval's remaining
-                    # instructions and charge their energy directly.
-                    left = interval_instr - core.instr_done
-                    core.energy_nj += left * scheduler.epi(j)
-                    core.pending_stall_ns = 0.0
-                elif core.active:
-                    advance_core(core, dt, scheduler.tpi(core.core_id),
-                                 scheduler.epi(core.core_id))
+            if use_vector:
+                j, dt = scheduler.next_completion()
+                # All other active cores: one vectorised stall-then-retire
+                # step.
+                arrays.advance_all(dt, exclude=j)
+            else:
+                j, dt = scheduler.next_completion_scalar()
+                for core in cores:
+                    if core.core_id != j and core.active:
+                        advance_core(core, dt, scheduler.tpi(core.core_id),
+                                     scheduler.epi(core.core_id))
+            # Completing core: retire the interval's remaining instructions
+            # exactly and charge their energy directly (the epi entry is
+            # fresh: either step refreshed every active core).
+            left = interval_instr - instr_done[j]
+            energy_nj[j] += left * epi[j]
+            pending_stall_ns[j] = 0.0
             self.time_ns += dt
             core = cores[j]
             self._complete_interval(core)
@@ -257,8 +319,21 @@ class SimulationKernel:
                 invoke_manager = not tenancy.apply_due(self.time_ns, completed_core=j)
             if invoke_manager:
                 new_allocs = self.manager.on_interval(j)
+                # Managers serving a fully cached decision return the same
+                # dict object as last invocation; every entry in it was
+                # already applied, so re-walking it is a guaranteed no-op
+                # (returned maps are immutable by the on_interval
+                # contract).  Debug mode verifies the contract held.
                 if new_allocs:
-                    self._apply(new_allocs)
+                    if new_allocs is not last_applied:
+                        self._apply(new_allocs)
+                        last_applied = new_allocs
+                    elif _WAYS_AUDIT:
+                        assert all(
+                            a is cores[k].alloc or a == cores[k].alloc
+                            for k, a in new_allocs.items()
+                        ), "manager mutated a previously returned allocation map"
+        self.events_simulated = events
 
         if self.scenario is not None:
             # Score completed intervals only: energy accrued by in-flight

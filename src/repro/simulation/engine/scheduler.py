@@ -10,19 +10,27 @@ times per interval, not per event.
 
 :class:`CompletionScheduler` therefore caches the (record, tpi, epi) triple
 per core and recomputes an entry lazily only after an explicit
-:meth:`invalidate`.  The remaining-time formula itself
-(``pending_stall_ns + (interval_instructions - instr_done) * tpi``) and the
-first-minimum tie-break of :meth:`next_completion` reproduce the reference
-arithmetic exactly, so replay results are bit-identical -- the cache removes
-lookup work, never changes values.
+:meth:`invalidate`.  The tpi/epi entries live in the shared
+:class:`~repro.simulation.engine.core_state.CoreArrays` vectors, so
+:meth:`next_completion` is a single masked argmin over
+``pending_stall_ns + (interval_instructions - instr_done) * tpi`` after the
+stale-and-active entries are refreshed (:meth:`refresh_stale` -- a loop
+over the handful of cores invalidated since the previous event, not over
+the system).  The remaining-time formula and the first-minimum tie-break
+reproduce the reference arithmetic exactly
+(:meth:`next_completion_scalar`, kept as the executable scalar reference),
+so replay results are bit-identical -- the cache and the vectorisation
+remove lookup and interpreter work, never change values.
 """
 
 from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.simulation.database import PhaseRecord, SimulationDatabase
-from repro.simulation.engine.core_state import CoreRun
+from repro.simulation.engine.core_state import CoreArrays, CoreRun
 
 __all__ = ["CompletionScheduler"]
 
@@ -30,15 +38,23 @@ __all__ = ["CompletionScheduler"]
 class CompletionScheduler:
     """Cached per-core completion times with incremental invalidation."""
 
-    def __init__(self, system, db: SimulationDatabase, cores: list[CoreRun]) -> None:
+    def __init__(
+        self,
+        system,
+        db: SimulationDatabase,
+        cores: list[CoreRun],
+        arrays: CoreArrays,
+    ) -> None:
         self.system = system
         self.db = db
         self.cores = cores
+        self.arrays = arrays
         n = len(cores)
         self._rec: list[PhaseRecord | None] = [None] * n
-        self._tpi: list[float] = [0.0] * n
-        self._epi: list[float] = [0.0] * n
-        self._valid: list[bool] = [False] * n
+        self._valid = np.zeros(n, dtype=bool)
+        # The QoS anchor is immutable per system; constructing it per
+        # memo-miss in baseline_interval_ns was pure allocation churn.
+        self._baseline_alloc = system.baseline_allocation()
         # Pure-function memos over (phase record, allocation): counter
         # snapshots and QoS-anchor interval times recur every time the same
         # phase completes at the same setting, and both are deterministic,
@@ -53,20 +69,30 @@ class CompletionScheduler:
 
     def invalidate_all(self) -> None:
         """Drop every cached entry (system-wide reconfiguration)."""
-        for j in range(len(self._valid)):
-            self._valid[j] = False
+        self._valid.fill(False)
 
     def is_valid(self, core_id: int) -> bool:
         """Whether the cached entry is current (introspection for tests)."""
-        return self._valid[core_id]
+        return bool(self._valid[core_id])
 
     def _refresh(self, core_id: int) -> None:
         core = self.cores[core_id]
         rec = self.db.record(core.app, core.seq[core.slice_idx])
         self._rec[core_id] = rec
-        self._tpi[core_id] = rec.tpi_at(core.alloc)
-        self._epi[core_id] = rec.epi_at(core.alloc)
+        self.arrays.tpi[core_id] = rec.tpi_at(core.alloc)
+        self.arrays.epi[core_id] = rec.epi_at(core.alloc)
         self._valid[core_id] = True
+
+    def refresh_stale(self) -> None:
+        """Recompute every invalidated-and-active entry (lazy batch point).
+
+        Exactly the set of cores the scalar reference would have lazily
+        refreshed during its next-completion and advance walks; idle cores
+        are never touched (their lanes are masked out of every vector read).
+        """
+        stale = np.nonzero(~self._valid & self.arrays.active)[0]
+        for j in stale:
+            self._refresh(int(j))
 
     # ---- cached views -------------------------------------------------------
     def record(self, core_id: int) -> PhaseRecord:
@@ -79,13 +105,13 @@ class CompletionScheduler:
         """Cached time-per-instruction of the core's slice at its allocation."""
         if not self._valid[core_id]:
             self._refresh(core_id)
-        return self._tpi[core_id]
+        return float(self.arrays.tpi[core_id])
 
     def epi(self, core_id: int) -> float:
         """Cached energy-per-instruction of the core's slice at its allocation."""
         if not self._valid[core_id]:
             self._refresh(core_id)
-        return self._epi[core_id]
+        return float(self.arrays.epi[core_id])
 
     def observe(self, core_id: int):
         """Counter snapshot of the core's current slice at its allocation.
@@ -110,7 +136,7 @@ class CompletionScheduler:
         val = self._baseline_ns.get(key)
         if val is None:
             val = self.system.interval_instructions * rec.tpi_at(
-                self.system.baseline_allocation()
+                self._baseline_alloc
             )
             self._baseline_ns[key] = val
         return val
@@ -127,9 +153,18 @@ class CompletionScheduler:
     def next_completion(self) -> tuple[int, float]:
         """(core id, remaining ns) of the earliest interval completion.
 
-        Ties break to the lowest core id, matching the reference loop's
-        ``min(range(n), key=remaining.__getitem__)``.
+        One masked argmin over the struct-of-arrays state
+        (:meth:`CoreArrays.next_completion`) after refreshing the stale
+        active entries.  Ties break to the lowest core id, matching the
+        reference loop's ``min(range(n), key=remaining.__getitem__)``.
         """
+        self.refresh_stale()
+        return self.arrays.next_completion(self.system.interval_instructions)
+
+    def next_completion_scalar(self) -> tuple[int, float]:
+        """Scalar reference of :meth:`next_completion` (kept for the
+        vector-vs-scalar property suite; identical arithmetic, one lane at
+        a time)."""
         interval_instr = self.system.interval_instructions
         best = math.inf
         best_j = 0

@@ -17,7 +17,11 @@ Many-core scale: the model keeps an index of cores with *non-empty*
 pending queues and a live count of active cores, so the per-event work of
 :meth:`TenancyModel.apply_due` and the kernel's all-idle check is
 proportional to the number of cores that still have scenario requests --
-not to the system size.  At 4 cores that is noise; at 256 cores the
+not to the system size.  Event application mutates core state through the
+:class:`~repro.simulation.engine.core_state.CoreRun` views (boundary-rate
+work), which keeps the struct-of-arrays vectors the hot path reads -- the
+active mask, pending stall, retirement progress -- consistent without any
+separate synchronisation step.  At 4 cores that is noise; at 256 cores the
 previous every-core scans were a per-event tax on every manager.
 Hierarchical (clustered) managers receive the same per-core
 ``on_scenario_event`` notifications and route them to their cluster tier
@@ -67,7 +71,7 @@ class TenancyModel:
         self._pending_cores: list[int] = sorted(
             k for k, q in enumerate(self.pending) if q
         )
-        self.n_active: int = sum(1 for c in cores if c.active)
+        self.n_active: int = int(scheduler.arrays.active.sum())
 
     def next_pending_ns(self) -> float:
         """Earliest pending request time, ``inf`` if none remain."""

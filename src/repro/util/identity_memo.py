@@ -1,0 +1,34 @@
+"""Identity-keyed memoisation of values derived from long-lived objects.
+
+Model code derives small constant tables (frequency vectors, voltage
+ratios, core-size factor arrays) from the immutable ``SystemConfig``; the
+derivations are pure but were re-executed on every hot-path call.  Keying
+a memo on ``id(obj)`` makes the lookup a dict probe with no hashing of the
+(deeply nested) config object; holding the object in the entry guards
+against id reuse after garbage collection, and a size cap bounds retention
+of dead entries (systems per process number a handful in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["identity_memo"]
+
+
+def identity_memo(cache: dict, obj, build: Callable[..., T], cap: int = 32) -> T:
+    """``build(obj)``, memoised in ``cache`` by ``obj``'s identity.
+
+    ``cache`` is caller-owned (one dict per derivation), so distinct
+    derivations never collide.  The entry stores ``obj`` itself: an id
+    reused by a different object fails the ``is`` check and rebuilds.
+    """
+    entry = cache.get(id(obj))
+    if entry is None or entry[0] is not obj:
+        if len(cache) >= cap:
+            cache.clear()
+        entry = (obj, build(obj))
+        cache[id(obj)] = entry
+    return entry[1]

@@ -66,3 +66,21 @@ def db16(system16):
     return build_database(
         system16, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
     )
+
+
+@pytest.fixture(scope="session")
+def system64():
+    return default_system(ncores=64)
+
+
+@pytest.fixture(scope="session")
+def db64(system64):
+    """Small-suite 64-core database for the many-core equivalence run.
+
+    Shares the bench tools' database digest (same app subset and fidelity),
+    so local and CI runs reuse the ``.sim_cache`` entry the scaling
+    benchmark builds.
+    """
+    return build_database(
+        system64, names=TEST_BENCHMARKS, accesses_per_set=400, cache_dir=CACHE_DIR
+    )

@@ -41,6 +41,7 @@ from repro.scenarios import (
     ScenarioEvent,
     burst_load,
     churn,
+    cluster_churn,
     poisson_arrivals,
     qos_ramp,
 )
@@ -132,6 +133,26 @@ class TestGoldenScenarios:
             system8, db8, sc.workload, rm2_combined(), max_slices=4, scenario=sc
         ).run()
         assert_bit_identical(old, new)
+
+    def test_64core_scenario(self, system64, db64):
+        """Many-core golden run: the struct-of-arrays hot path (vectorised
+        advance + masked argmin), the clustered-manager grouped refreshes
+        and the shared curve memo must stay bit-identical to the frozen
+        reference at the scale they were built for."""
+        sc = cluster_churn("gold64-s5", 64, TEST_BENCHMARKS, cluster_size=8,
+                           cycles=8, horizon_intervals=96, seed=2)
+        for factory in (
+            StaticBaselineManager,
+            rm2_combined,
+            lambda: rm2_combined(cluster_size=8),
+        ):
+            old = LegacyRMASimulator(
+                system64, db64, sc.workload, factory(), max_slices=4, scenario=sc
+            ).run()
+            new = RMASimulator(
+                system64, db64, sc.workload, factory(), max_slices=4, scenario=sc
+            ).run()
+            assert_bit_identical(old, new)
 
 
 class TestGoldenMultiprocess:

@@ -1,0 +1,282 @@
+"""Vector-vs-scalar property suite for the struct-of-arrays hot path.
+
+The engine's per-event advance and next-completion argmin are vectorised
+over :class:`~repro.simulation.engine.core_state.CoreArrays`; the scalar
+reference mechanics (:func:`~repro.simulation.engine.core_state.
+advance_core` and ``CompletionScheduler.next_completion_scalar``) are kept
+as executable specifications.  This suite drives both over randomised core
+states -- inactive cores, stall-only spans, exact-completion ties -- and
+compares with ``==`` on every number: the vector path must remove
+interpreter work, never change values.
+
+It also covers the kernel's delta-maintained way-budget audit (the O(N)
+re-sum `_apply` used to do per reallocation) including its debug-mode full
+recount, and the identity fast path for re-served allocation maps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import Allocation
+from repro.core.managers import StaticBaselineManager, rm2_combined
+from repro.simulation.engine import kernel as kernel_mod
+from repro.simulation.engine.core_state import CoreArrays, advance_core
+from repro.simulation.rma_sim import RMASimulator
+from repro.workloads.mixes import Workload
+
+#: Interval length used by the synthetic argmin states (arbitrary but fixed).
+INTERVAL_INSTR = 1000.0
+
+
+@dataclass
+class ScalarCore:
+    """Plain scalar double of one CoreArrays lane for the reference path."""
+
+    instr_done: float
+    pending_stall_ns: float
+    energy_nj: float
+    active: bool
+
+
+def _state(n, rng_seed):
+    """Build (CoreArrays, [ScalarCore]) with identical randomised state."""
+    rng = np.random.default_rng(rng_seed)
+    arrays = CoreArrays(n)
+    scalars = []
+    for j in range(n):
+        instr = float(rng.uniform(0.0, INTERVAL_INSTR))
+        # Mix exact zeros into the stall state: the scalar path branches on
+        # pending > 0 and the vector path must mirror the no-stall case
+        # bit-exactly (subtracting a served 0.0).
+        stall = 0.0 if rng.random() < 0.4 else float(rng.uniform(0.0, 50.0))
+        energy = float(rng.uniform(0.0, 1e6))
+        active = bool(rng.random() < 0.8)
+        tpi = float(rng.uniform(0.05, 2.0))
+        epi = float(rng.uniform(0.1, 5.0))
+        arrays.instr_done[j] = instr
+        arrays.pending_stall_ns[j] = stall
+        arrays.energy_nj[j] = energy
+        arrays.active[j] = active
+        arrays.tpi[j] = tpi
+        arrays.epi[j] = epi
+        scalars.append((ScalarCore(instr, stall, energy, active), tpi, epi))
+    return arrays, scalars
+
+
+class TestVectorAdvance:
+    """CoreArrays.advance_all == per-core advance_core, bit for bit."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        n=st.integers(1, 65),
+        seed=st.integers(0, 10_000),
+        dt_kind=st.sampled_from(["random", "zero", "stall_edge", "tiny"]),
+        exclude_raw=st.integers(0, 64),
+    )
+    def test_matches_scalar(self, n, seed, dt_kind, exclude_raw):
+        arrays, scalars = _state(n, seed)
+        exclude = exclude_raw % n
+        if dt_kind == "random":
+            dt = float(np.random.default_rng(seed + 1).uniform(0.0, 100.0))
+        elif dt_kind == "zero":
+            dt = 0.0
+        elif dt_kind == "tiny":
+            dt = 5e-324  # denormal span: stall-serving edge arithmetic
+        else:
+            # Exactly one core's pending stall: that core serves its stall
+            # to exactly zero remaining span (the dt <= 0 early-out).
+            k = seed % n
+            dt = scalars[k][0].pending_stall_ns or 1.0
+
+        arrays.advance_all(dt, exclude=exclude)
+        for j, (core, tpi, epi) in enumerate(scalars):
+            if j != exclude:
+                advance_core(core, dt, tpi, epi)
+            assert arrays.instr_done[j] == core.instr_done
+            assert arrays.pending_stall_ns[j] == core.pending_stall_ns
+            assert arrays.energy_nj[j] == core.energy_nj
+
+    def test_stall_only_span_makes_no_progress(self):
+        arrays = CoreArrays(2)
+        arrays.pending_stall_ns[:] = (10.0, 3.0)
+        arrays.tpi[:] = 1.0
+        arrays.epi[:] = 1.0
+        arrays.advance_all(3.0, exclude=None)
+        # Core 0 spent the whole span stalled; core 1 exactly drained it.
+        assert arrays.instr_done[0] == 0.0 and arrays.energy_nj[0] == 0.0
+        assert arrays.pending_stall_ns[0] == 7.0
+        assert arrays.instr_done[1] == 0.0 and arrays.pending_stall_ns[1] == 0.0
+
+    def test_inactive_and_excluded_lanes_untouched(self):
+        arrays, _ = _state(8, 7)
+        arrays.active[3] = False
+        before = (
+            arrays.instr_done.copy(),
+            arrays.pending_stall_ns.copy(),
+            arrays.energy_nj.copy(),
+        )
+        arrays.advance_all(10.0, exclude=5)
+        for j in (3, 5):
+            assert arrays.instr_done[j] == before[0][j]
+            assert arrays.pending_stall_ns[j] == before[1][j]
+            assert arrays.energy_nj[j] == before[2][j]
+
+
+def _next_completion_scalar(arrays: CoreArrays, interval_instr: float):
+    """The reference loop's formula and first-minimum tie-break, verbatim."""
+    best = math.inf
+    best_j = 0
+    for j in range(arrays.n):
+        if not arrays.active[j]:
+            continue
+        left = interval_instr - float(arrays.instr_done[j])
+        r = float(arrays.pending_stall_ns[j]) + left * float(arrays.tpi[j])
+        if r < best:
+            best = r
+            best_j = j
+    return best_j, best
+
+
+class TestVectorArgmin:
+    """CoreArrays.next_completion == the scalar reference loop."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(n=st.integers(1, 65), seed=st.integers(0, 10_000))
+    def test_matches_scalar(self, n, seed):
+        arrays, _ = _state(n, seed)
+        j, r = arrays.next_completion(INTERVAL_INSTR)
+        sj, sr = _next_completion_scalar(arrays, INTERVAL_INSTR)
+        assert (j, r) == (sj, sr)
+
+    def test_tie_breaks_to_lowest_core_id(self):
+        arrays = CoreArrays(4)
+        arrays.tpi[:] = 1.0
+        # Cores 1 and 3 are exactly tied; 0 and 2 are slower.
+        arrays.instr_done[:] = (0.0, 500.0, 100.0, 500.0)
+        j, r = arrays.next_completion(INTERVAL_INSTR)
+        assert j == 1 and r == 500.0
+
+    def test_exact_completion_tie_with_stall(self):
+        # instr_done == interval: remaining is the pending stall exactly.
+        arrays = CoreArrays(3)
+        arrays.tpi[:] = 2.0
+        arrays.instr_done[:] = (INTERVAL_INSTR, INTERVAL_INSTR, 0.0)
+        arrays.pending_stall_ns[:] = (5.0, 5.0, 0.0)
+        j, r = arrays.next_completion(INTERVAL_INSTR)
+        assert j == 0 and r == 5.0
+
+    def test_all_inactive_returns_inf(self):
+        arrays = CoreArrays(3)
+        arrays.active[:] = False
+        j, r = arrays.next_completion(INTERVAL_INSTR)
+        assert j == 0 and math.isinf(r)
+
+    def test_inactive_lane_never_wins(self):
+        arrays = CoreArrays(2)
+        arrays.tpi[:] = 1.0
+        arrays.instr_done[:] = (INTERVAL_INSTR, 0.0)  # lane 0 would win
+        arrays.active[0] = False
+        j, _ = arrays.next_completion(INTERVAL_INSTR)
+        assert j == 1
+
+
+class TestSchedulerVectorPath:
+    """End-to-end: the scheduler's vector argmin equals its scalar twin."""
+
+    def test_next_completion_matches_scalar(self, system4, db4):
+        wl = Workload(
+            name="vec4",
+            apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like"),
+        )
+        sim = RMASimulator(system4, db4, wl, StaticBaselineManager(), max_slices=4)
+        sched = sim.scheduler
+        assert sched.next_completion() == sched.next_completion_scalar()
+        # Perturb state mid-run and compare again.
+        sim.arrays.instr_done[2] = 0.75 * system4.interval_instructions
+        sim.arrays.pending_stall_ns[1] = 123.0
+        assert sched.next_completion() == sched.next_completion_scalar()
+
+    def test_invalidate_all_is_vector_fill(self, system4, db4):
+        wl = Workload(
+            name="vec4b",
+            apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like"),
+        )
+        sim = RMASimulator(system4, db4, wl, StaticBaselineManager(), max_slices=4)
+        sched = sim.scheduler
+        sched.next_completion()  # refresh every active core
+        assert all(sched.is_valid(j) for j in range(4))
+        sched.invalidate_all()
+        assert not any(sched.is_valid(j) for j in range(4))
+
+
+class TestWayBudgetAudit:
+    """The delta-maintained way total must equal a from-scratch recount."""
+
+    def _sim(self, system4, db4):
+        wl = Workload(
+            name="audit4",
+            apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like"),
+        )
+        return RMASimulator(system4, db4, wl, StaticBaselineManager(), max_slices=4)
+
+    def test_tracks_deltas_and_recount(self, system4, db4, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_WAYS_AUDIT", True)
+        sim = self._sim(system4, db4)
+        base = system4.baseline_allocation()
+        assert sim._ways_total == sum(c.alloc.ways for c in sim.cores)
+        grown = Allocation(core=base.core, freq=base.freq, ways=base.ways + 2)
+        shrunk = Allocation(core=base.core, freq=base.freq, ways=base.ways - 2)
+        sim._apply({0: grown, 1: shrunk})
+        assert sim._ways_total == sum(c.alloc.ways for c in sim.cores)
+        assert sim.cores[0].alloc.ways == base.ways + 2
+
+    def test_over_budget_rejected_before_mutation(self, system4, db4):
+        sim = self._sim(system4, db4)
+        base = system4.baseline_allocation()
+        grown = Allocation(core=base.core, freq=base.freq, ways=base.ways + 1)
+        with pytest.raises(ValueError, match="manager allocated"):
+            sim._apply({0: grown})
+        # The rejected map must not have been partially applied.
+        assert sim.cores[0].alloc == base
+        assert sim._ways_total == sum(c.alloc.ways for c in sim.cores)
+
+    def test_full_run_under_manager_with_recount(self, system4, db4, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_WAYS_AUDIT", True)
+        wl = Workload(
+            name="audit4m",
+            apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like"),
+        )
+        run = RMASimulator(system4, db4, wl, rm2_combined(), max_slices=4).run()
+        assert run.rma_invocations > 0
+
+    def test_reserved_map_identity_fast_path(self, system4, db4):
+        """A manager re-serving the same dict object is a recognised no-op."""
+        sim = self._sim(system4, db4)
+
+        class ConstantManager(StaticBaselineManager):
+            def __init__(self, allocs):
+                super().__init__()
+                self.allocs = allocs
+                self.calls = 0
+
+            def on_interval(self, core_id):
+                self.calls += 1
+                return self.allocs
+
+        base = system4.baseline_allocation()
+        allocs = {j: base for j in range(4)}
+        mgr = ConstantManager(allocs)
+        wl = Workload(
+            name="audit4c",
+            apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like"),
+        )
+        run = RMASimulator(system4, db4, wl, mgr, max_slices=3).run()
+        assert mgr.calls > 1
+        assert run.rma_invocations == 0  # StaticBaseline meters nothing

@@ -10,7 +10,11 @@ whole clusters draining and refilling -- under the hierarchical
 second-level combine), times it against the flat incremental manager and
 the static baseline, and verifies the single-cluster equivalence contract
 (``cluster_size >= ncores`` is bit-identical to the flat manager) on a
-16-core replay.  Results land in
+16-core replay.  A 128-core S7 datapoint (the scaling experiment's
+cluster-churn shape with idle gaps) tracks the next doubling, and every
+replay records its event throughput (``events_per_sec`` -- global
+simulation events retired per wall-clock second, the struct-of-arrays
+engine's headline number).  Results land in
 ``benchmarks/_artifacts/BENCH_scaling.json``: wall-clocks and the
 ``result_hash`` / ``bit_identical`` fields are enforced by the CI
 bench-regression gate (``tools/bench_compare.py``), so both the many-core
@@ -20,7 +24,7 @@ Usage::
 
     PYTHONPATH=src python tools/bench_scaling.py \
         [--ncores 64] [--cluster-size 8] [--horizon 512] \
-        [--max-slices 12] [--repeats 2]
+        [--max-slices 12] [--repeats 2] [--s7-ncores 128]
 """
 
 from __future__ import annotations
@@ -53,14 +57,23 @@ from repro.simulation.rma_sim import RMASimulator  # noqa: E402
 
 
 def _replay(ctx, scenario, manager_factory, max_slices, repeats):
-    """Best-of-N wall-clock and final run of one scenario replay."""
-    return time_best_of(
-        lambda: RMASimulator(
+    """Best-of-N wall-clock, final run and simulator of one scenario replay."""
+    last = [None]  # only the final repeat's simulator is kept alive
+
+    def make():
+        last[0] = sim = RMASimulator(
             ctx.system, ctx.db, scenario.workload, manager_factory(),
             max_slices=max_slices, scenario=scenario,
-        ).run(),
-        repeats,
-    )
+        )
+        return sim.run()
+
+    best_s, run = time_best_of(make, repeats)
+    return best_s, run, last[0]
+
+
+def _events_per_sec(sim, best_s: float) -> float:
+    """Replay throughput: simulated global events per wall-clock second."""
+    return round(sim.events_simulated / best_s, 1) if best_s > 0 else 0.0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -74,6 +87,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--equivalence-ncores", type=int, default=16,
                         help="system size of the single-cluster identity check")
+    parser.add_argument("--s7-ncores", type=int, default=128,
+                        help="system size of the S7 scaling datapoint")
     args = parser.parse_args(argv)
 
     report: dict = {
@@ -95,15 +110,15 @@ def main(argv: list[str] | None = None) -> int:
         cluster_size=args.cluster_size, cycles=max(4, args.ncores // 8),
         horizon_intervals=args.horizon, seed=args.seed,
     )
-    clus_s, clus_run = _replay(
+    clus_s, clus_run, clus_sim = _replay(
         ctx, scenario, lambda: rm2_combined(cluster_size=args.cluster_size),
         args.max_slices, args.repeats,
     )
-    flat_s, flat_run = _replay(
+    flat_s, flat_run, _ = _replay(
         ctx, scenario, lambda: rm2_combined(incremental=True),
         args.max_slices, args.repeats,
     )
-    base_s, base_run = _replay(
+    base_s, base_run, base_sim = _replay(
         ctx, scenario, StaticBaselineManager, args.max_slices, args.repeats,
     )
     gap_pct = (
@@ -125,6 +140,11 @@ def main(argv: list[str] | None = None) -> int:
         "flat_rma_instr_per_invocation": round(
             flat_run.rma_instructions / max(1, flat_run.rma_invocations), 1
         ),
+        # Replay throughput (informational; the gated signals are the
+        # wall-clocks and hashes).
+        "events": int(clus_sim.events_simulated),
+        "events_per_sec": _events_per_sec(clus_sim, clus_s),
+        "baseline_events_per_sec": _events_per_sec(base_sim, base_s),
         "result_hash": run_result_hash(clus_run),
         "rma_invocations": int(clus_run.rma_invocations),
         # Nested so the gate's exact-match walk sees a leaf literally named
@@ -133,7 +153,42 @@ def main(argv: list[str] | None = None) -> int:
     }
     print(
         f"{args.ncores}-core S5: clustered {clus_s:6.3f}s  flat {flat_s:6.3f}s  "
-        f"({flat_s / clus_s:4.2f}x)  energy gap {gap_pct:+.3f}%"
+        f"({flat_s / clus_s:4.2f}x)  energy gap {gap_pct:+.3f}%  "
+        f"{report['manycore']['events_per_sec']:,.0f} events/s"
+    )
+
+    # ---- the next doubling: 128-core S7 under RM2-clustered ----------------
+    s7_n = args.s7_ncores
+    s7_ctx = get_context(s7_n, names=BENCHMARK_SUBSET)
+    s7_scenario = cluster_churn(
+        f"s7-{s7_n}core", s7_n, BENCHMARK_SUBSET,
+        cluster_size=args.cluster_size, cycles=max(4, s7_n // 8),
+        idle_intervals=1.5, horizon_intervals=args.horizon, seed=args.seed,
+    )
+    s7_s, s7_run, s7_sim = _replay(
+        s7_ctx, s7_scenario, lambda: rm2_combined(cluster_size=args.cluster_size),
+        args.max_slices, args.repeats,
+    )
+    s7_base_s, _, s7_base_sim = _replay(
+        s7_ctx, s7_scenario, StaticBaselineManager, args.max_slices, args.repeats,
+    )
+    report["s7_128core"] = {
+        "ncores": s7_n,
+        "scenario": s7_scenario.name,
+        "clustered_s": round(s7_s, 4),
+        "baseline_s": round(s7_base_s, 4),
+        "events": int(s7_sim.events_simulated),
+        "events_per_sec": _events_per_sec(s7_sim, s7_s),
+        "baseline_events_per_sec": _events_per_sec(s7_base_sim, s7_base_s),
+        "clustered_rma_instr_per_invocation": round(
+            s7_run.rma_instructions / max(1, s7_run.rma_invocations), 1
+        ),
+        "result_hash": run_result_hash(s7_run),
+        "rma_invocations": int(s7_run.rma_invocations),
+    }
+    print(
+        f"{s7_n}-core S7: clustered {s7_s:6.3f}s  baseline {s7_base_s:6.3f}s  "
+        f"{report['s7_128core']['events_per_sec']:,.0f} events/s"
     )
 
     # ---- the equivalence contract: one cluster == flat, bit for bit --------
@@ -144,11 +199,11 @@ def main(argv: list[str] | None = None) -> int:
         cluster_size=max(2, eq_n // 4), cycles=4,
         horizon_intervals=8 * eq_n, seed=args.seed,
     )
-    _, one_run = _replay(
+    _, one_run, _ = _replay(
         eq_ctx, eq_scenario, lambda: rm2_combined(cluster_size=eq_n),
         args.max_slices, 1,
     )
-    _, eq_flat_run = _replay(
+    _, eq_flat_run, _ = _replay(
         eq_ctx, eq_scenario, lambda: rm2_combined(incremental=True),
         args.max_slices, 1,
     )

@@ -39,6 +39,7 @@ bit-identical to the flat tree.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -129,17 +130,28 @@ def _arange(n: int) -> np.ndarray:
 #: anti-diagonal sum.  ``_combine`` is non-reentrant (tree reductions call
 #: it sequentially) and everything that outlives the call -- the winning
 #: energies and splits -- is materialised by copying fancy-index/argmin
-#: outputs, so recycling the intermediates is safe.
-_SCRATCH: dict[tuple, np.ndarray] = {}
+#: outputs, so recycling the intermediates is safe *within one thread*.
+#: The buffers live in a thread local because the replay service runs
+#: several simulations concurrently in one process; a shared buffer would
+#: let two combines overwrite each other's DP state mid-reduction.
+_SCRATCH_TLS = threading.local()
+
+
+def _scratch_map() -> dict:
+    bufs = getattr(_SCRATCH_TLS, "bufs", None)
+    if bufs is None:
+        bufs = _SCRATCH_TLS.bufs = {}
+    return bufs
 
 
 def _scratch(key: tuple, shape) -> np.ndarray:
-    buf = _SCRATCH.get(key)
+    bufs = _scratch_map()
+    buf = bufs.get(key)
     if buf is None:
-        if len(_SCRATCH) >= 256:
-            _SCRATCH.clear()
+        if len(bufs) >= 256:
+            bufs.clear()
         buf = np.empty(shape)
-        _SCRATCH[key] = buf
+        bufs[key] = buf
     return buf
 
 
@@ -151,12 +163,13 @@ def _padded_scratch(na: int, nb: int) -> np.ndarray:
     energies.
     """
     key = ("pad", na, nb)
-    buf = _SCRATCH.get(key)
+    bufs = _scratch_map()
+    buf = bufs.get(key)
     if buf is None:
-        if len(_SCRATCH) >= 256:
-            _SCRATCH.clear()
+        if len(bufs) >= 256:
+            bufs.clear()
         buf = np.full(na + 2 * (nb - 1), np.inf)
-        _SCRATCH[key] = buf
+        bufs[key] = buf
     return buf
 
 

@@ -17,6 +17,7 @@ re-simulating.  Disable with ``REPRO_NO_RESULT_CACHE=1`` or the CLI's
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig, default_system
@@ -183,20 +184,24 @@ def rm3_with_model(model: str) -> ManagerSpec:
     )
 
 
-# Worker-process context.  Under the fork start method it is inherited; under
-# spawn the workers start clean, so every fan-out passes ``_init_worker`` as
-# the pool initializer, which rebuilds this mapping from pickled initargs in
-# each worker (and in-process on the serial path).
-_WORKER: dict = {}
+# Worker context.  Under the fork start method it is inherited; under spawn
+# the workers start clean, so every fan-out passes ``_init_worker`` as the
+# pool initializer, which rebuilds this state from pickled initargs in each
+# worker (and in-process on the serial path).  It is a *thread local*, not a
+# plain dict: pool worker processes run initializer and tasks on one thread,
+# but the replay service drives serial-path fan-outs from several threads at
+# once, and a shared mapping would let one thread's context (say, the 16-core
+# system) leak into another thread's 4-core job.
+_WORKER = threading.local()
 
 
 def _init_worker(ctx: "ExperimentContext") -> None:
-    """Pool initializer: install the experiment context in this process."""
-    _WORKER["ctx"] = ctx
+    """Pool initializer: install the experiment context in this worker."""
+    _WORKER.ctx = ctx
 
 
 def _worker_ctx() -> "ExperimentContext":
-    ctx = _WORKER.get("ctx")
+    ctx = getattr(_WORKER, "ctx", None)
     if ctx is None:
         raise RuntimeError(
             "worker has no experiment context; fan out through parallel_map "

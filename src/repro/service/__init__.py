@@ -1,0 +1,44 @@
+"""Scenario-replay service: the step from "fast library" to "fast service".
+
+Wraps :class:`~repro.experiments.runner.ExperimentContext` in a long-lived
+service so many concurrent clients can drive the vectorised replay engine
+over HTTP:
+
+* :mod:`repro.service.jobs` -- the request/job model: a replay request
+  names a scenario shape (S1-S7, or a fixed workload), its generator
+  parameters, the system size and a
+  :class:`~repro.experiments.runner.ManagerSpec`; the job id *is* the
+  results-store content hash of that request, so identical requests are
+  identical jobs by construction.
+* :mod:`repro.service.pool` -- :class:`ReplayService`: a thread worker
+  pool over the runner's spawn-safe ``parallel_map`` machinery, sharing
+  one simulation database and one ``.sim_cache`` results store, with
+  in-flight dedup (concurrent identical submissions coalesce onto one
+  run) and service metrics.
+* :mod:`repro.service.api` -- a thin stdlib HTTP surface: submit / poll /
+  fetch results / stream interval samples as server-sent batches, plus
+  ``/healthz`` and ``/metrics``.
+
+Start one from the command line with ``tools/serve.py``.
+"""
+
+from repro.service.jobs import (
+    JobSpec,
+    SCENARIO_SHAPES,
+    WORKLOAD_SHAPE,
+    build_item,
+    job_spec_from_json,
+)
+from repro.service.pool import Job, ReplayService
+from repro.service.api import make_server
+
+__all__ = [
+    "JobSpec",
+    "SCENARIO_SHAPES",
+    "WORKLOAD_SHAPE",
+    "build_item",
+    "job_spec_from_json",
+    "Job",
+    "ReplayService",
+    "make_server",
+]

@@ -1,0 +1,252 @@
+"""Thin stdlib HTTP surface over :class:`~repro.service.pool.ReplayService`.
+
+Endpoints (all JSON unless noted):
+
+* ``POST /jobs`` -- submit a replay request (the :mod:`repro.service.jobs`
+  wire format); returns ``{job_id, status, deduped}``.  Identical requests
+  return the same ``job_id``.
+* ``GET /jobs/<id>`` -- poll one job's status.
+* ``GET /jobs/<id>/result`` -- the finished run's scored numbers and
+  canonical ``result_hash`` (409 while queued/running, 410 when failed).
+* ``GET /jobs/<id>/stream`` -- the run's interval samples as *server-sent
+  events*, batched (``?batch=N``, default 256 samples per event; waits up
+  to ``?timeout=S``, default 60, for the job to finish first).
+* ``GET /healthz`` -- liveness.
+* ``GET /metrics`` -- Prometheus-style text exposition of the service
+  counters (queue depth, cache hit rate, jobs/sec, latency percentiles).
+
+Built on :class:`http.server.ThreadingHTTPServer` -- no third-party web
+framework is required, so the service runs anywhere the library does.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.service.pool import Job, ReplayService
+
+__all__ = ["make_server", "ReplayHTTPServer"]
+
+#: Default interval samples per server-sent batch.
+DEFAULT_STREAM_BATCH = 256
+
+#: Default seconds ``/stream`` waits for an unfinished job.
+DEFAULT_STREAM_TIMEOUT_S = 60.0
+
+
+class ReplayHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`ReplayService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: ReplayService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def make_server(
+    service: ReplayService, host: str = "127.0.0.1", port: int = 0
+) -> ReplayHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks a free port)."""
+    return ReplayHTTPServer((host, port), service)
+
+
+def _result_payload(job: Job) -> dict:
+    """The scored numbers of a finished run, JSON-shaped."""
+    run = job.result
+    return {
+        "job_id": job.job_id,
+        "result_hash": job.result_hash,
+        "workload": run.workload,
+        "manager": run.manager,
+        "total_energy_nj": run.total_energy_nj,
+        "max_time_ns": run.max_time_ns,
+        "rma_invocations": run.rma_invocations,
+        "rma_instructions": run.rma_instructions,
+        "n_interval_samples": len(run.interval_samples),
+        "cache_hit": job.cache_hit,
+        "apps": [
+            {
+                "app": a.app,
+                "core": a.core,
+                "time_ns": a.time_ns,
+                "energy_nj": a.energy_nj,
+                "intervals": a.intervals,
+                "slack": a.slack,
+            }
+            for a in run.apps
+        ],
+    }
+
+
+def _metrics_text(metrics: dict) -> str:
+    """Prometheus text exposition (gauge per counter, stable order)."""
+    lines = []
+    for key in sorted(metrics):
+        name = f"repro_service_{key}"
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {metrics[key]}")
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the bound service; errors become JSON bodies."""
+
+    server: ReplayHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ---- plumbing -----------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        """Silence per-request stderr chatter (metrics cover observability)."""
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, message: str) -> None:
+        self._send_json(code, {"error": message})
+
+    def _job_or_404(self, job_id: str) -> Job | None:
+        job = self.server.service.get_job(job_id)
+        if job is None:
+            self._send_error_json(404, f"unknown job {job_id!r}")
+        return job
+
+    # ---- POST ---------------------------------------------------------------
+    def do_POST(self) -> None:
+        """``POST /jobs``: parse, validate, submit, report the job id."""
+        if urlparse(self.path).path != "/jobs":
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length)
+            payload = json.loads(raw.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._send_error_json(400, f"malformed JSON body: {exc}")
+            return
+        try:
+            job, deduped = self.server.service.submit_info(payload)
+        except ValueError as exc:
+            self._send_error_json(400, str(exc))
+            return
+        self._send_json(
+            202 if not deduped else 200,
+            {
+                "job_id": job.job_id,
+                "status": job.status,
+                "deduped": deduped,
+                "submissions": job.submissions,
+            },
+        )
+
+    # ---- GET ----------------------------------------------------------------
+    def do_GET(self) -> None:
+        """Route ``GET`` endpoints (status, result, stream, health, metrics)."""
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if url.path == "/healthz":
+            m = self.server.service.metrics()
+            self._send_json(
+                200,
+                {
+                    "status": "ok",
+                    "workers": m["workers"],
+                    "uptime_s": m["uptime_s"],
+                },
+            )
+        elif url.path == "/metrics":
+            body = _metrics_text(self.server.service.metrics()).encode()
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif len(parts) == 2 and parts[0] == "jobs":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._send_json(200, job.summary())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            job = self._job_or_404(parts[1])
+            if job is None:
+                return
+            if job.status == "failed":
+                self._send_error_json(410, job.error or "job failed")
+            elif job.status != "done":
+                self._send_error_json(409, f"job is {job.status}; poll until done")
+            else:
+                self._send_json(200, _result_payload(job))
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "stream":
+            job = self._job_or_404(parts[1])
+            if job is not None:
+                self._stream_samples(job, parse_qs(url.query))
+        else:
+            self._send_error_json(404, f"no such endpoint: GET {self.path}")
+
+    # ---- SSE ----------------------------------------------------------------
+    def _sse_event(self, event: str, payload: dict) -> None:
+        self.wfile.write(
+            f"event: {event}\ndata: {json.dumps(payload)}\n\n".encode()
+        )
+
+    def _stream_samples(self, job: Job, query: dict) -> None:
+        """Stream a run's interval samples as server-sent batches.
+
+        Waits (bounded) for an in-flight job, then emits ``batch`` events
+        of up to ``?batch=N`` samples each and a final ``done`` event with
+        the canonical result hash -- so a client can consume per-interval
+        QoS data incrementally instead of one result blob.
+        """
+        try:
+            batch = max(1, int(query.get("batch", [DEFAULT_STREAM_BATCH])[0]))
+            timeout = float(query.get("timeout", [DEFAULT_STREAM_TIMEOUT_S])[0])
+        except ValueError:
+            self._send_error_json(400, "batch/timeout must be numeric")
+            return
+        if not job.wait(timeout):
+            self._send_error_json(409, f"job still {job.status} after {timeout}s")
+            return
+        if job.status == "failed":
+            self._send_error_json(410, job.error or "job failed")
+            return
+        samples = job.result.interval_samples
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        # SSE is an open-ended body: close delimits it (Connection: close
+        # keeps HTTP/1.1 keep-alive from waiting on a length we never send).
+        self.send_header("Connection", "close")
+        self.end_headers()
+        for start in range(0, len(samples), batch):
+            chunk = samples[start : start + batch]
+            self._sse_event(
+                "batch",
+                {
+                    "offset": start,
+                    "samples": [
+                        {
+                            "core": s.core,
+                            "phase_key": s.phase_key,
+                            "duration_ns": s.duration_ns,
+                            "baseline_ns": s.baseline_ns,
+                            "slack": s.slack,
+                        }
+                        for s in chunk
+                    ],
+                },
+            )
+        self._sse_event(
+            "done",
+            {
+                "job_id": job.job_id,
+                "result_hash": job.result_hash,
+                "n_interval_samples": len(samples),
+            },
+        )
+        self.close_connection = True

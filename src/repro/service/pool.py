@@ -1,0 +1,312 @@
+"""The replay worker pool: queue, dedup, execution, metrics.
+
+:class:`ReplayService` owns one :class:`~repro.experiments.runner.
+ExperimentContext` per requested system size (all sharing one simulation
+database cache and one ``.sim_cache`` results store) and N worker threads
+draining a submit queue.  Each job executes through the runner's
+spawn-safe ``parallel_map`` worker protocol
+(:func:`~repro.util.parallel.parallel_map` with
+``_init_worker``/``_run_one_scenario``), i.e. exactly the machinery the
+batch experiment drivers fan out over -- which is why the service path is
+bit-identical to the library path.
+
+Dedup happens at three tiers, all keyed by the same content hash
+(:func:`~repro.service.jobs.job_key` == the results-store
+:func:`~repro.simulation.results_store.run_key`):
+
+1. **submit time** -- an identical request while a job is queued/running/
+   done returns the *same* job (``submissions`` counts the coalesced
+   clients);
+2. **in flight** -- the results store's
+   :class:`~repro.simulation.results_store.InflightRegistry` guards the
+   window between store miss and store put, so even independently created
+   executors sharing one store run a key at most once;
+3. **at rest** -- the persistent results store serves finished runs across
+   service restarts.
+
+A worker crash mid-job marks the job ``failed`` (with the error) and
+releases any coalesced waiters -- it never hangs clients, and a later
+identical submission retries cleanly.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    ManagerSpec,
+    _init_worker,
+    _run_one,
+    _run_one_scenario,
+    get_context,
+)
+from repro.scenarios.events import Scenario
+from repro.service.jobs import JobSpec, build_item, job_key, job_spec_from_json
+from repro.simulation.metrics import RunResult, run_result_digest
+from repro.simulation.results_store import InflightRegistry
+from repro.util.parallel import parallel_map
+from repro.workloads.mixes import Workload
+
+__all__ = ["Job", "ReplayService", "JOB_STATES"]
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def _execute_replay(
+    ctx: ExperimentContext, item: Scenario | Workload, manager: ManagerSpec
+) -> RunResult:
+    """Run one replay through the runner's spawn-safe worker machinery.
+
+    Module-level so the crash tests can monkeypatch it; routed through
+    ``parallel_map`` with the pool initializer, the exact protocol
+    ``ExperimentContext._resolve`` uses for batch fan-out.
+    """
+    worker = _run_one_scenario if isinstance(item, Scenario) else _run_one
+    task = (item, manager, ctx.max_slices)
+    return parallel_map(
+        worker, [task], processes=1, initializer=_init_worker, initargs=(ctx,)
+    )[0]
+
+
+@dataclass
+class Job:
+    """One submitted replay job; ``job_id`` is the run's content hash."""
+
+    job_id: str
+    spec: JobSpec
+    item: Scenario | Workload
+    status: str = "queued"
+    submitted_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+    error: str | None = None
+    result: RunResult | None = None
+    result_hash: str | None = None
+    #: Total client submissions coalesced onto this job (>= 1).
+    submissions: int = 1
+    #: True when the result was served from the persistent store.
+    cache_hit: bool = False
+    finished: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job settles (done or failed); False on timeout."""
+        return self.finished.wait(timeout)
+
+    def summary(self) -> dict:
+        """Status view returned by the poll endpoint."""
+        out = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "shape": self.spec.shape,
+            "ncores": self.spec.ncores,
+            "name": self.spec.name,
+            "manager": self.spec.manager.name or self.spec.manager.kind,
+            "submissions": self.submissions,
+            "cache_hit": self.cache_hit,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.result_hash is not None:
+            out["result_hash"] = self.result_hash
+        return out
+
+
+class ReplayService:
+    """Long-lived scenario-replay service: submit, poll, fetch, metrics.
+
+    ``context_factory(ncores)`` builds the per-size experiment context
+    (defaults to :func:`~repro.experiments.runner.get_context`, i.e. the
+    shared ``.sim_cache`` database + results store); contexts are memoised
+    per size for the service's lifetime.  Use as a context manager or call
+    :meth:`close` to drain and join the workers.
+    """
+
+    def __init__(self, context_factory=get_context, workers: int = 2) -> None:
+        if workers < 1:
+            raise ValueError("service needs at least one worker")
+        self._context_factory = context_factory
+        self._contexts: dict[int, ExperimentContext] = {}
+        self._jobs: dict[str, Job] = {}
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._lock = threading.Lock()
+        self.inflight = InflightRegistry()
+        self.started_s = time.monotonic()
+        # Counters (all under self._lock; read via metrics()).
+        self.simulations = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.dedup_hits = 0
+        self._latencies_s: list[float] = []
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"replay-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for t in self._workers:
+            t.start()
+
+    # ---- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "ReplayService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting work and join the worker threads."""
+        for _ in self._workers:
+            self._queue.put(None)
+        for t in self._workers:
+            t.join(timeout=60.0)
+
+    # ---- contexts -----------------------------------------------------------
+    def ctx_for(self, ncores: int) -> ExperimentContext:
+        """The (memoised) experiment context serving ``ncores`` jobs."""
+        with self._lock:
+            ctx = self._contexts.get(ncores)
+        if ctx is not None:
+            return ctx
+        # Build outside the lock: database construction can take seconds
+        # and must not stall submits for other (already-built) sizes.
+        ctx = self._context_factory(ncores)
+        with self._lock:
+            return self._contexts.setdefault(ncores, ctx)
+
+    # ---- submission ---------------------------------------------------------
+    def submit(self, request: JobSpec | dict) -> Job:
+        """Register one replay request; identical requests share one job.
+
+        Accepts a parsed :class:`JobSpec` or a raw JSON mapping (the wire
+        form).  Returns the job -- possibly an existing one: a request
+        whose content hash matches a queued, running or finished job
+        coalesces onto it (``submissions`` increments).  A previously
+        *failed* job is retried with a fresh job record under the same id.
+        """
+        return self.submit_info(request)[0]
+
+    def submit_info(self, request: JobSpec | dict) -> tuple[Job, bool]:
+        """Like :meth:`submit`, also reporting whether the request coalesced
+        onto an existing job (the HTTP layer surfaces this as ``deduped``)."""
+        spec = request if isinstance(request, JobSpec) else job_spec_from_json(request)
+        ctx = self.ctx_for(spec.ncores)
+        item = build_item(spec, ctx.db.benchmarks())
+        key = job_key(spec, ctx)
+        with self._lock:
+            job = self._jobs.get(key)
+            if job is not None and job.status != "failed":
+                job.submissions += 1
+                self.dedup_hits += 1
+                return job, True
+            job = Job(
+                job_id=key, spec=spec, item=item, submitted_s=time.monotonic()
+            )
+            self._jobs[key] = job
+        self._queue.put(job)
+        return job, False
+
+    def get_job(self, job_id: str) -> Job | None:
+        """Look one job up by id (None when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ---- execution ----------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: Job) -> None:
+        job.status = "running"
+        job.started_s = time.monotonic()
+        ctx = self.ctx_for(job.spec.ncores)
+        owner, ticket = self.inflight.claim(job.job_id)
+        try:
+            if not owner:
+                # Another executor sharing this store is already running the
+                # key (submit-time dedup makes this rare in-process): wait
+                # for its outcome instead of simulating again.
+                ticket.done.wait()
+                if ticket.error is not None:
+                    raise ticket.error
+                result = ticket.result
+                job.cache_hit = True
+            else:
+                store = ctx.results_store
+                result = store.get(job.job_id) if store is not None else None
+                if result is not None:
+                    job.cache_hit = True
+                else:
+                    result = _execute_replay(ctx, job.item, job.spec.manager)
+                    with self._lock:
+                        self.simulations += 1
+                    if store is not None:
+                        store.put(job.job_id, result)
+                self.inflight.publish(ticket, result)
+        except Exception as exc:
+            if owner:
+                self.inflight.fail(ticket, exc)
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = "failed"
+            job.finished_s = time.monotonic()
+            with self._lock:
+                self.jobs_failed += 1
+            job.finished.set()
+            return
+        job.result = result
+        job.result_hash = run_result_digest(result)
+        job.status = "done"
+        job.finished_s = time.monotonic()
+        with self._lock:
+            self.jobs_done += 1
+            self._latencies_s.append(job.finished_s - job.submitted_s)
+        job.finished.set()
+
+    # ---- metrics ------------------------------------------------------------
+    @staticmethod
+    def _percentile(sorted_values: list[float], q: float) -> float:
+        if not sorted_values:
+            return 0.0
+        idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+        return sorted_values[idx]
+
+    def metrics(self) -> dict:
+        """One snapshot of the service's operational counters."""
+        with self._lock:
+            latencies = sorted(self._latencies_s)
+            stores = [
+                ctx.results_store
+                for ctx in self._contexts.values()
+                if ctx.results_store is not None
+            ]
+            hits = sum(s.hits for s in stores)
+            misses = sum(s.misses for s in stores)
+            puts = sum(s.puts for s in stores)
+            done, failed = self.jobs_done, self.jobs_failed
+            dedup = self.dedup_hits
+            sims = self.simulations
+        uptime_s = max(time.monotonic() - self.started_s, 1e-9)
+        lookups = hits + misses
+        return {
+            "uptime_s": uptime_s,
+            "workers": len(self._workers),
+            "queue_depth": self._queue.qsize(),
+            "jobs_done": done,
+            "jobs_failed": failed,
+            "jobs_deduped": dedup,
+            "jobs_inflight_coalesced": self.inflight.coalesced,
+            "simulations": sims,
+            "store_hits": hits,
+            "store_misses": misses,
+            "store_puts": puts,
+            "cache_hit_rate": (hits / lookups) if lookups else 0.0,
+            "jobs_per_sec": done / uptime_s,
+            "job_latency_p50_s": self._percentile(latencies, 0.50),
+            "job_latency_p95_s": self._percentile(latencies, 0.95),
+        }

@@ -14,6 +14,7 @@ The paper's metrics:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,6 +28,7 @@ __all__ = [
     "compare_runs",
     "energy_savings_pct",
     "interval_violation_stats",
+    "run_result_digest",
     "NEGLIGIBLE_VIOLATION",
 ]
 
@@ -106,6 +108,27 @@ class WorkloadComparison:
 
     def violation_values_pct(self) -> list[float]:
         return [v.slowdown_pct for v in self.violations if v.violated]
+
+
+def run_result_digest(run: RunResult) -> str:
+    """Digest of one run's simulation numbers at full precision.
+
+    The canonical result hash: the bench-regression artifacts
+    (``tools/bench_*.py``), the committed golden suites and the
+    scenario-replay service all go through this one implementation, so a
+    "result hash" means the same bytes everywhere.  Floats are hashed via
+    ``repr`` (shortest round-trip form), so any drift in any scored number
+    changes the digest exactly.
+    """
+    parts = [run.workload, run.manager,
+             repr(int(run.rma_invocations)), repr(float(run.rma_instructions))]
+    for app in run.apps:
+        parts.append(
+            f"{app.app}|{app.core}|{app.intervals}|{app.slack!r}|"
+            f"{app.time_ns!r}|{app.energy_nj!r}"
+        )
+    parts.append(repr(len(run.interval_samples)))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
 
 
 def energy_savings_pct(baseline: RunResult, policy: RunResult) -> float:

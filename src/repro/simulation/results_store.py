@@ -28,13 +28,21 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import tempfile
+import threading
 
 from repro.scenarios.events import Scenario, ScenarioEvent
 from repro.simulation.database import SimulationDatabase, _config_digest
 from repro.simulation.metrics import RunResult
 from repro.workloads.mixes import Workload
 
-__all__ = ["ResultsStore", "run_key", "database_digest", "RESULTS_FORMAT_VERSION"]
+__all__ = [
+    "ResultsStore",
+    "InflightRegistry",
+    "run_key",
+    "database_digest",
+    "RESULTS_FORMAT_VERSION",
+]
 
 #: Bump to invalidate stored run results when replay accounting changes.
 RESULTS_FORMAT_VERSION = 1
@@ -135,9 +143,97 @@ class ResultsStore:
         return result
 
     def put(self, key: str, result: RunResult) -> None:
+        """Persist one result atomically.
+
+        The pickle lands in a uniquely named temp file in the same
+        directory (``mkstemp``: unique even across *threads* sharing a pid,
+        as the service worker pool does), is flushed and fsynced, and only
+        then renamed over the final path.  A worker killed at any instant
+        can therefore leave at most an orphaned ``.tmp`` file -- never a
+        truncated pickle under a real key that would poison later reads.
+        """
         os.makedirs(self.root, exist_ok=True)
-        tmp = self.path(key) + f".tmp{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            pickle.dump(result, fh)
-        os.replace(tmp, self.path(key))
+        fd, tmp = tempfile.mkstemp(
+            prefix=f"run_{key}.", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.puts += 1
+
+
+class InflightRegistry:
+    """In-flight run dedup: concurrent identical requests coalesce onto one.
+
+    The persistent store dedups *finished* runs; this registry closes the
+    window while a run is still executing.  The first claimant of a key
+    becomes its owner and must eventually :meth:`publish` or :meth:`fail`;
+    every later claimant of the same key gets the owner's ticket and waits
+    on it instead of simulating.  The service worker pool
+    (:mod:`repro.service.pool`) keys this registry with the same
+    :func:`run_key` content hashes as the store, so "identical request"
+    means identical (database, scenario, manager, fidelity) -- not merely an
+    identical HTTP body.
+    """
+
+    class Ticket:
+        """One in-flight run: waiters block on ``done`` and read the outcome."""
+
+        __slots__ = ("key", "done", "result", "error", "waiters")
+
+        def __init__(self, key: str) -> None:
+            self.key = key
+            self.done = threading.Event()
+            self.result: RunResult | None = None
+            self.error: BaseException | None = None
+            self.waiters = 0
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, InflightRegistry.Ticket] = {}
+        #: Requests coalesced onto an already-in-flight run (monotonic).
+        self.coalesced = 0
+
+    def claim(self, key: str) -> tuple[bool, "InflightRegistry.Ticket"]:
+        """Return ``(owner, ticket)``: the first claimant owns the run."""
+        with self._lock:
+            ticket = self._inflight.get(key)
+            if ticket is not None:
+                ticket.waiters += 1
+                self.coalesced += 1
+                return False, ticket
+            ticket = InflightRegistry.Ticket(key)
+            self._inflight[key] = ticket
+            return True, ticket
+
+    def _settle(self, ticket: "InflightRegistry.Ticket") -> None:
+        with self._lock:
+            self._inflight.pop(ticket.key, None)
+        ticket.done.set()
+
+    def publish(self, ticket: "InflightRegistry.Ticket", result: RunResult) -> None:
+        """Owner: the run finished; release every waiter with the result."""
+        ticket.result = result
+        self._settle(ticket)
+
+    def fail(self, ticket: "InflightRegistry.Ticket", error: BaseException) -> None:
+        """Owner: the run crashed; release every waiter with the error.
+
+        The key is removed from the registry first, so a later identical
+        request retries the run instead of inheriting the failure forever.
+        """
+        ticket.error = error
+        self._settle(ticket)
+
+    def inflight_count(self) -> int:
+        with self._lock:
+            return len(self._inflight)

@@ -280,3 +280,60 @@ class TestWayBudgetAudit:
         run = RMASimulator(system4, db4, wl, mgr, max_slices=3).run()
         assert mgr.calls > 1
         assert run.rma_invocations == 0  # StaticBaseline meters nothing
+
+
+class TestVectorDispatchBoundary:
+    """Scalar-vs-vector bit identity straddling ``VECTOR_MIN_CORES``.
+
+    The dispatch constant decides *performance only*: at N one below, at,
+    and one above the crossover, a full scenario replay forced down the
+    scalar step and one forced down the vector step must agree with ``==``
+    on every number.  Run at the boundary itself this is the strongest form
+    of the suite's lane-level equivalence properties -- whole-run, with the
+    manager, tenancy churn and QoS scoring in the loop.
+    """
+
+    @staticmethod
+    def _run(ncores: int, forced_min_cores: int):
+        from conftest import CACHE_DIR, TEST_BENCHMARKS
+        from repro import default_system
+        from repro.scenarios import poisson_arrivals
+        from repro.simulation.database import build_database
+        from repro.simulation.rma_sim import simulate_scenario
+
+        system = default_system(ncores=ncores)
+        db = build_database(
+            system, names=TEST_BENCHMARKS, accesses_per_set=400,
+            cache_dir=CACHE_DIR,
+        )
+        scenario = poisson_arrivals(
+            f"vector-boundary-{ncores}", ncores, db.benchmarks(),
+            rate_per_interval=0.3, horizon_intervals=24, seed=0,
+        )
+        saved = kernel_mod.VECTOR_MIN_CORES
+        kernel_mod.VECTOR_MIN_CORES = forced_min_cores
+        try:
+            return simulate_scenario(
+                system, db, scenario, rm2_combined(), max_slices=4
+            )
+        finally:
+            kernel_mod.VECTOR_MIN_CORES = saved
+
+    @pytest.mark.parametrize(
+        "ncores",
+        [
+            kernel_mod.VECTOR_MIN_CORES - 1,
+            kernel_mod.VECTOR_MIN_CORES,
+            kernel_mod.VECTOR_MIN_CORES + 1,
+        ],
+    )
+    def test_scalar_and_vector_steps_bit_identical(self, ncores):
+        from tests.test_engine_equivalence import assert_bit_identical
+
+        scalar = self._run(ncores, forced_min_cores=ncores + 1)
+        vector = self._run(ncores, forced_min_cores=1)
+        assert_bit_identical(scalar, vector)
+
+    def test_default_dispatch_picks_the_expected_step(self):
+        """Sanity: the boundary constant is what this suite straddles."""
+        assert kernel_mod.VECTOR_MIN_CORES == 16

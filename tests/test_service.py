@@ -1,0 +1,381 @@
+"""Scenario-replay service: functional suite (in-process and over a socket).
+
+Covers the request/job model (validation, canonicalisation, the hypothesis
+round-trip of the job-hash canonicalisation), single-job happy paths
+bit-identical to the library path, results-store serving across service
+instances, failed-job retry, the in-flight registry hook, and every HTTP
+endpoint including the server-sent interval-sample stream.
+
+The concurrency harness (identical-submission dedup storms, S1-S7 mixed
+storms, crash-mid-job) lives in ``tests/test_service_concurrency.py``; the
+golden-hash suite in ``tests/test_service_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import RM2, ExperimentContext, ManagerSpec
+from repro.service import JobSpec, ReplayService, build_item, job_spec_from_json, make_server
+from repro.service.jobs import SCENARIO_SHAPES, WORKLOAD_SHAPE
+from repro.simulation.metrics import run_result_digest
+from repro.simulation.results_store import InflightRegistry, ResultsStore
+from repro.simulation.rma_sim import simulate_scenario, simulate_workload
+from tests.test_engine_equivalence import assert_bit_identical
+
+#: Small fidelity for every service test: horizons stay tiny, replay fast.
+MAX_SLICES = 5
+
+S1_PARAMS = {"rate_per_interval": 0.25, "horizon_intervals": 16, "seed": 0}
+
+
+def _factory(system4, db4, tmp_path):
+    """Service context factory over the session db fixtures + a fresh store."""
+
+    def factory(ncores):
+        assert ncores == 4, "this suite only requests 4-core jobs"
+        return ExperimentContext(
+            system=system4, db=db4, max_slices=MAX_SLICES,
+            results_store=ResultsStore(str(tmp_path / "results")),
+        )
+
+    return factory
+
+
+def _s1_request(**overrides) -> dict:
+    req = {
+        "shape": "S1",
+        "ncores": 4,
+        "params": dict(S1_PARAMS),
+        "manager": {"kind": "coordinated", "name": "rm2-combined"},
+        "name": "svc-s1",
+    }
+    req.update(overrides)
+    return req
+
+
+@pytest.fixture
+def service(system4, db4, tmp_path):
+    svc = ReplayService(context_factory=_factory(system4, db4, tmp_path), workers=2)
+    yield svc
+    svc.close()
+
+
+class TestJobSpecValidation:
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError, match="unknown shape"):
+            job_spec_from_json(_s1_request(shape="S99"))
+
+    def test_unknown_param_rejected_at_submit(self):
+        bad = _s1_request()
+        bad["params"]["warp_factor"] = 9
+        with pytest.raises(ValueError, match="warp_factor"):
+            job_spec_from_json(bad)
+
+    def test_unknown_request_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            job_spec_from_json(_s1_request(priority="high"))
+
+    def test_bad_manager_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown manager kind"):
+            job_spec_from_json(_s1_request(manager={"kind": "quantum"}))
+
+    def test_manager_requires_kind(self):
+        with pytest.raises(ValueError, match="'kind'"):
+            job_spec_from_json(_s1_request(manager={"name": "x"}))
+
+    def test_ncores_must_be_int(self):
+        with pytest.raises(ValueError, match="ncores"):
+            job_spec_from_json(_s1_request(ncores="four"))
+        with pytest.raises(ValueError, match="ncores"):
+            job_spec_from_json(_s1_request(ncores=True))
+
+    def test_params_order_is_canonicalised(self):
+        a = JobSpec("S1", 4, RM2, params=(("seed", 1), ("horizon_intervals", 8)))
+        b = JobSpec("S1", 4, RM2, params=(("horizon_intervals", 8), ("seed", 1)))
+        assert a == b and a.canonical() == b.canonical()
+
+    def test_fixed_workload_needs_matching_apps(self, service):
+        with pytest.raises(ValueError, match="exactly ncores"):
+            service.submit({
+                "shape": WORKLOAD_SHAPE, "ncores": 4,
+                "params": {"apps": ["mcf_like"]},
+                "manager": {"kind": "baseline"},
+            })
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            service.submit({
+                "shape": WORKLOAD_SHAPE, "ncores": 4,
+                "params": {"apps": ["mcf_like", "nope_like", "mcf_like", "mcf_like"]},
+                "manager": {"kind": "baseline"},
+            })
+
+
+def _manager_specs() -> st.SearchStrategy:
+    return st.builds(
+        ManagerSpec,
+        kind=st.sampled_from(["baseline", "coordinated", "independent"]),
+        name=st.text(alphabet="abc-", max_size=8),
+        control_dvfs=st.booleans(),
+        control_core_size=st.booleans(),
+        control_partitioning=st.booleans(),
+        mlp_model=st.sampled_from(["model1", "model2", "model3"]),
+        oracle=st.booleans(),
+        incremental=st.just(True),
+        cluster_size=st.one_of(st.none(), st.integers(1, 8)),
+        overprovision=st.floats(1.0, 4.0, allow_nan=False),
+    )
+
+
+@st.composite
+def _job_specs(draw) -> JobSpec:
+    shape = draw(st.sampled_from(sorted(SCENARIO_SHAPES)))
+    params = {}
+    if draw(st.booleans()):
+        params["seed"] = draw(st.integers(0, 2**31))
+    if draw(st.booleans()):
+        params["horizon_intervals"] = draw(st.integers(1, 512))
+    if draw(st.booleans()):
+        params["interval_ns"] = draw(
+            st.floats(1e6, 1e9, allow_nan=False, allow_infinity=False)
+        )
+    return JobSpec(
+        shape=shape,
+        ncores=draw(st.integers(1, 256)),
+        manager=draw(_manager_specs()),
+        params=tuple(params.items()),
+        name=draw(st.text(alphabet="abcdefgh0123-", max_size=12)),
+    )
+
+
+class TestJobHashCanonicalisation:
+    """The wire format round-trips the job-hash canonicalisation exactly."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(spec=_job_specs())
+    def test_json_roundtrip_preserves_canonical_form(self, spec):
+        wire = json.loads(json.dumps(spec.to_json()))
+        back = job_spec_from_json(wire)
+        assert back == spec
+        assert back.canonical() == spec.canonical()
+        # One more lap must be a fixed point (canonicalisation idempotent).
+        again = job_spec_from_json(json.loads(json.dumps(back.to_json())))
+        assert again == back
+
+    @settings(max_examples=50, deadline=None)
+    @given(spec=_job_specs())
+    def test_canonical_distinguishes_manager_and_params(self, spec):
+        bumped = JobSpec(
+            shape=spec.shape, ncores=spec.ncores, manager=spec.manager,
+            params=tuple(dict(spec.params, seed=12345678901).items()),
+            name=spec.name,
+        )
+        assert bumped.canonical() != spec.canonical()
+
+
+class TestServiceSingleJob:
+    def test_job_done_bit_identical_to_library_path(self, service, system4, db4):
+        job = service.submit(_s1_request())
+        assert job.wait(120), "job did not settle"
+        assert job.status == "done" and job.error is None
+        spec = job_spec_from_json(_s1_request())
+        scenario = build_item(spec, db4.benchmarks())
+        library = simulate_scenario(
+            system4, db4, scenario, RM2.build(), max_slices=MAX_SLICES
+        )
+        assert_bit_identical(job.result, library)
+        assert job.result_hash == run_result_digest(library)
+
+    def test_fixed_workload_job(self, service, system4, db4):
+        apps = ["mcf_like", "soplex_like", "libquantum_like", "povray_like"]
+        job = service.submit({
+            "shape": WORKLOAD_SHAPE, "ncores": 4,
+            "params": {"apps": apps, "slack": 0.1},
+            "manager": {"kind": "coordinated", "name": "rm2-combined"},
+            "name": "svc-fixed",
+        })
+        assert job.wait(120) and job.status == "done"
+        wl = build_item(job.spec, db4.benchmarks())
+        library = simulate_workload(
+            system4, db4, wl, RM2.build(), max_slices=MAX_SLICES
+        )
+        assert_bit_identical(job.result, library)
+
+    def test_restarted_service_serves_from_store(self, system4, db4, tmp_path):
+        factory = _factory(system4, db4, tmp_path)
+        with ReplayService(context_factory=factory, workers=1) as first:
+            a = first.submit(_s1_request())
+            assert a.wait(120) and a.status == "done"
+            assert first.simulations == 1
+        # A fresh service over the same store must not re-simulate.
+        with ReplayService(context_factory=factory, workers=1) as second:
+            b = second.submit(_s1_request())
+            assert b.wait(120) and b.status == "done"
+            assert second.simulations == 0
+            assert b.cache_hit is True
+            assert b.result_hash == a.result_hash
+            assert_bit_identical(a.result, b.result)
+
+    def test_metrics_snapshot_counts(self, service):
+        job = service.submit(_s1_request())
+        assert job.wait(120)
+        service.submit(_s1_request())  # dedup hit on the finished job
+        m = service.metrics()
+        assert m["jobs_done"] == 1 and m["jobs_failed"] == 0
+        assert m["simulations"] == 1 and m["jobs_deduped"] == 1
+        assert m["workers"] == 2
+        assert m["job_latency_p50_s"] > 0.0
+        assert m["job_latency_p95_s"] >= m["job_latency_p50_s"]
+
+
+class TestInflightRegistry:
+    def test_first_claim_owns(self):
+        reg = InflightRegistry()
+        owner, ticket = reg.claim("k")
+        assert owner and reg.inflight_count() == 1
+        again_owner, again = reg.claim("k")
+        assert not again_owner and again is ticket
+        assert reg.coalesced == 1
+
+    def test_publish_releases_waiters(self):
+        reg = InflightRegistry()
+        _, ticket = reg.claim("k")
+        seen = []
+        t = threading.Thread(
+            target=lambda: (ticket.done.wait(30), seen.append(ticket.result))
+        )
+        t.start()
+        reg.publish(ticket, "result-sentinel")
+        t.join(30)
+        assert seen == ["result-sentinel"]
+        assert reg.inflight_count() == 0
+
+    def test_fail_clears_key_for_retry(self):
+        reg = InflightRegistry()
+        _, ticket = reg.claim("k")
+        reg.fail(ticket, RuntimeError("boom"))
+        assert ticket.done.is_set() and isinstance(ticket.error, RuntimeError)
+        owner, fresh = reg.claim("k")  # a retry claims a fresh ticket
+        assert owner and fresh is not ticket
+
+
+@pytest.fixture
+def http_base(service):
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+
+
+def _post(base: str, payload: dict):
+    req = urllib.request.Request(
+        base + "/jobs", data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=120) as resp:
+        return resp.status, json.load(resp)
+
+
+def _get(base: str, path: str):
+    with urllib.request.urlopen(base + path, timeout=120) as resp:
+        return resp.status, json.load(resp)
+
+
+class TestHTTPEndpoints:
+    def test_submit_poll_result(self, http_base, service):
+        status, out = _post(http_base, _s1_request())
+        assert status == 202 and out["status"] in ("queued", "running", "done")
+        job_id = out["job_id"]
+        assert service.get_job(job_id).wait(120)
+        _, polled = _get(http_base, f"/jobs/{job_id}")
+        assert polled["status"] == "done" and polled["result_hash"]
+        _, result = _get(http_base, f"/jobs/{job_id}/result")
+        assert result["result_hash"] == polled["result_hash"]
+        assert result["n_interval_samples"] > 0
+        assert len(result["apps"]) == 4
+        # Resubmitting the identical body dedups onto the same job id.
+        status2, again = _post(http_base, _s1_request())
+        assert status2 == 200 and again["deduped"] is True
+        assert again["job_id"] == job_id
+
+    def test_submit_rejects_bad_requests(self, http_base):
+        for payload in (
+            _s1_request(shape="S99"),
+            _s1_request(manager={"kind": "quantum"}),
+            {"shape": "S1"},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(http_base, payload)
+            assert err.value.code == 400
+            assert "error" in json.load(err.value)
+
+    def test_unknown_job_404(self, http_base):
+        for path in ("/jobs/deadbeef", "/jobs/deadbeef/result", "/nope"):
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(http_base, path)
+            assert err.value.code == 404
+
+    def test_result_conflict_while_pending(self, http_base, service, monkeypatch):
+        import repro.service.pool as pool_mod
+
+        gate = threading.Event()
+        real = pool_mod._execute_replay
+
+        def stalled(ctx, item, manager):
+            gate.wait(60)
+            return real(ctx, item, manager)
+
+        monkeypatch.setattr(pool_mod, "_execute_replay", stalled)
+        _, out = _post(http_base, _s1_request(name="svc-s1-pending"))
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(http_base, f"/jobs/{out['job_id']}/result")
+        assert err.value.code == 409
+        gate.set()
+        assert service.get_job(out["job_id"]).wait(120)
+
+    def test_healthz_and_metrics(self, http_base):
+        _, health = _get(http_base, "/healthz")
+        assert health["status"] == "ok" and health["workers"] == 2
+        with urllib.request.urlopen(http_base + "/metrics", timeout=60) as resp:
+            text = resp.read().decode()
+        for metric in (
+            "repro_service_queue_depth",
+            "repro_service_cache_hit_rate",
+            "repro_service_jobs_per_sec",
+            "repro_service_job_latency_p95_s",
+        ):
+            assert f"\n{metric} " in "\n" + text
+
+    def test_stream_replays_every_interval_sample(self, http_base, service):
+        _, out = _post(http_base, _s1_request())
+        job = service.get_job(out["job_id"])
+        assert job.wait(120)
+        with urllib.request.urlopen(
+            http_base + f"/jobs/{out['job_id']}/stream?batch=7", timeout=120
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith("text/event-stream")
+            raw = resp.read().decode()
+        events = [e for e in raw.strip().split("\n\n") if e]
+        kinds = [e.splitlines()[0].removeprefix("event: ") for e in events]
+        assert kinds[-1] == "done" and set(kinds[:-1]) == {"batch"}
+        samples = []
+        for event in events[:-1]:
+            data = json.loads(event.splitlines()[1].removeprefix("data: "))
+            assert data["offset"] == len(samples)
+            assert len(data["samples"]) <= 7
+            samples.extend(data["samples"])
+        done = json.loads(events[-1].splitlines()[1].removeprefix("data: "))
+        assert done["result_hash"] == job.result_hash
+        assert len(samples) == len(job.result.interval_samples)
+        for got, want in zip(samples, job.result.interval_samples):
+            assert got["core"] == want.core
+            assert got["duration_ns"] == want.duration_ns
+            assert got["baseline_ns"] == want.baseline_ns

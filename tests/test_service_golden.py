@@ -1,0 +1,118 @@
+"""Golden result hashes through the service path.
+
+Three jobs shaped after registered experiments -- E2 (8-core fixed
+multi-programmed mix), S1 (4-core Poisson arrivals) and S5 (16-core
+whole-cluster churn under the hierarchical manager) -- run through
+:class:`~repro.service.pool.ReplayService` at tier-1 fidelity, and their
+canonical result hashes must equal the hashes committed in
+``tests/golden_service_hashes.json``.
+
+This pins three things at once: the simulation's numbers (any physics
+change shows up as a hash change), the canonical hash function itself,
+and the service execution path (which must add nothing to either).  To
+regenerate after an *intentional* change::
+
+    PYTHONPATH=src REPRO_UPDATE_GOLDENS=1 python -m pytest tests/test_service_golden.py
+
+and commit the rewritten JSON alongside the change that explains it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+from repro.service import ReplayService
+from repro.simulation.results_store import ResultsStore
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_service_hashes.json")
+
+MAX_SLICES = 5
+
+#: The golden jobs: shaped after the registered E2 / S1 / S5 experiments
+#: (same generators and manager specs, the test suite's seven-app database
+#: and tier-1 fidelity).  Keys are the golden-file entries.
+GOLDEN_JOBS = {
+    "e2-fixed-8core": {
+        "shape": "FIXED",
+        "ncores": 8,
+        "name": "golden-e2",
+        "params": {
+            "apps": ["mcf_like", "soplex_like", "libquantum_like", "lbm_like",
+                     "astar_like", "povray_like", "namd_like", "mcf_like"],
+        },
+        "manager": {"kind": "coordinated", "name": "rm2-combined"},
+    },
+    "s1-poisson-4core": {
+        "shape": "S1",
+        "ncores": 4,
+        "name": "golden-s1",
+        "params": {"rate_per_interval": 0.15, "horizon_intervals": 64, "seed": 0},
+        "manager": {"kind": "coordinated", "name": "rm2-combined"},
+    },
+    "s5-cluster-churn-16core": {
+        "shape": "S5",
+        "ncores": 16,
+        "name": "golden-s5",
+        "params": {"cluster_size": 4, "cycles": 4, "idle_intervals": 1.5,
+                   "horizon_intervals": 256, "seed": 0},
+        "manager": {"kind": "coordinated", "name": "rm2-combined-c4",
+                    "cluster_size": 4},
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def golden_hashes():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def service(system4, db4, system8, db8, system16, db16, tmp_path_factory):
+    systems = {4: (system4, db4), 8: (system8, db8), 16: (system16, db16)}
+    store_root = str(tmp_path_factory.mktemp("golden-results"))
+
+    def factory(ncores):
+        system, db = systems[ncores]
+        return ExperimentContext(
+            system=system, db=db, max_slices=MAX_SLICES,
+            results_store=ResultsStore(store_root),
+        )
+
+    with ReplayService(context_factory=factory, workers=2) as svc:
+        yield svc
+
+
+@pytest.mark.parametrize("entry", sorted(GOLDEN_JOBS))
+def test_service_hash_matches_golden(entry, service, golden_hashes):
+    """The service-path hash of each golden job equals the committed one."""
+    job = service.submit(GOLDEN_JOBS[entry])
+    assert job.wait(240.0), f"golden job {entry} never settled"
+    assert job.status == "done", job.error
+    if os.environ.get("REPRO_UPDATE_GOLDENS"):
+        golden_hashes[entry] = job.result_hash
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+            json.dump(golden_hashes, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        pytest.skip(f"golden for {entry} rewritten; commit the JSON")
+    assert entry in golden_hashes, (
+        f"no committed golden for {entry}; run with REPRO_UPDATE_GOLDENS=1"
+    )
+    assert job.result_hash == golden_hashes[entry], (
+        f"{entry}: service hash {job.result_hash} != committed "
+        f"{golden_hashes[entry]} -- either the simulation's numbers moved or "
+        "the canonical hash changed; regenerate goldens only if intentional"
+    )
+
+
+def test_goldens_are_committed():
+    """The golden file exists, is valid JSON, and covers every golden job."""
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        data = json.load(fh)
+    assert set(data) == set(GOLDEN_JOBS)
+    for name, digest in data.items():
+        assert isinstance(digest, str) and len(digest) == 16, (name, digest)

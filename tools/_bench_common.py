@@ -18,7 +18,6 @@ Every artifact carries two regression-gate fields consumed by
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import sys
@@ -99,16 +98,16 @@ def runs_bit_identical(a, b) -> bool:
 
 
 def run_result_hash(run) -> str:
-    """Digest of one ``RunResult``'s simulation numbers at full precision."""
-    parts = [run.workload, run.manager,
-             repr(int(run.rma_invocations)), repr(float(run.rma_instructions))]
-    for app in run.apps:
-        parts.append(
-            f"{app.app}|{app.core}|{app.intervals}|{app.slack!r}|"
-            f"{app.time_ns!r}|{app.energy_nj!r}"
-        )
-    parts.append(repr(len(run.interval_samples)))
-    return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+    """Digest of one ``RunResult``'s simulation numbers at full precision.
+
+    Delegates to :func:`repro.simulation.metrics.run_result_digest` -- the
+    one canonical implementation, shared with the scenario-replay service --
+    imported lazily because bench scripts call :func:`add_src_to_path`
+    before importing anything from ``repro``.
+    """
+    from repro.simulation.metrics import run_result_digest
+
+    return run_result_digest(run)
 
 
 def write_bench_artifact(name: str, report: dict) -> str:

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Run the scenario-replay service over HTTP.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve.py [--host H] [--port P] [--workers N]
+        [--ncores N ...] [--cache-dir PATH] [--benchmarks a,b,...]
+
+``--ncores`` pre-warms experiment contexts (database + results store) for
+those system sizes at startup; other sizes are built lazily on first
+request.  ``--benchmarks`` restricts the simulation database to a named
+subset (the CI smoke uses the seven-app tier-1 set so it shares the test
+suite's cached database).  Fidelity knobs come from the environment
+(``REPRO_MAX_SLICES``, ``REPRO_ACCESSES_PER_SET``), exactly as for the
+experiment CLI.
+
+With ``--port 0`` the OS picks a free port; the bound address is printed
+as ``listening on http://host:port`` (stdout, flushed) so wrappers such as
+``tools/service_smoke.py`` can discover it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.runner import DEFAULT_CACHE_DIR, get_context  # noqa: E402
+from repro.service import ReplayService, make_server  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8100)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--ncores", type=int, nargs="*", default=[],
+                        help="system sizes to pre-warm contexts for")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset for the "
+                             "simulation database (default: full catalogue)")
+    args = parser.parse_args(argv)
+
+    names = args.benchmarks.split(",") if args.benchmarks else None
+
+    def factory(ncores: int):
+        return get_context(ncores, cache_dir=args.cache_dir, names=names)
+
+    service = ReplayService(context_factory=factory, workers=args.workers)
+    for ncores in args.ncores:
+        service.ctx_for(ncores)
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""End-to-end service smoke: boot the server, replay S1 over HTTP, gate hashes.
+
+The CI ``service-smoke`` job's driver.  It
+
+1. launches ``tools/serve.py`` as a subprocess on a free port
+   (``--port 0``) with the small-suite benchmark subset and bench-smoke
+   fidelity (``REPRO_MAX_SLICES=12``, ``REPRO_ACCESSES_PER_SET=400``),
+2. waits for ``/healthz``,
+3. submits the bench-smoke S1 scenario (rate 0.25, horizon 48, seed 0)
+   under the baseline and RM2 managers, polls each job to ``done``,
+4. resubmits one job and requires the response to be deduplicated,
+5. fetches the results and compares every ``result_hash`` against the
+   committed baseline
+   (``benchmarks/_artifacts/baselines/BENCH_service_smoke.json``),
+6. scrapes ``/metrics`` and sanity-checks the counters.
+
+Exit status is non-zero on any mismatch, so the job doubles as a semantic
+regression gate on the full HTTP path.  After an *intentional* change to
+the simulation's numbers::
+
+    PYTHONPATH=src python tools/service_smoke.py --update
+    git add benchmarks/_artifacts/baselines/BENCH_service_smoke.json
+
+Usage::
+
+    PYTHONPATH=src python tools/service_smoke.py [--cache-dir PATH] [--update]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _bench_common import (  # noqa: E402
+    ARTIFACT_DIR,
+    BENCHMARK_SUBSET,
+    write_bench_artifact,
+)
+
+BASELINE_PATH = os.path.join(ARTIFACT_DIR, "baselines", "BENCH_service_smoke.json")
+
+#: The smoke jobs: bench_smoke's S1 scenario block, as service requests.
+SMOKE_JOBS = {
+    "smoke-s1-baseline": {
+        "shape": "S1",
+        "ncores": 4,
+        "name": "smoke-s1",
+        "params": {"rate_per_interval": 0.25, "horizon_intervals": 48, "seed": 0},
+        "manager": {"kind": "baseline", "name": "baseline"},
+    },
+    "smoke-s1-rm2": {
+        "shape": "S1",
+        "ncores": 4,
+        "name": "smoke-s1",
+        "params": {"rate_per_interval": 0.25, "horizon_intervals": 48, "seed": 0},
+        "manager": {"kind": "coordinated", "name": "rm2-combined"},
+    },
+}
+
+STARTUP_TIMEOUT_S = 180.0
+JOB_TIMEOUT_S = 300.0
+
+
+def _get_json(url: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.load(resp)
+
+
+def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
+    req = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return json.load(resp)
+
+
+def _start_server(cache_dir: str | None) -> tuple[subprocess.Popen, str]:
+    """Launch serve.py on a free port; return (process, base URL)."""
+    cmd = [
+        sys.executable, os.path.join(os.path.dirname(__file__), "serve.py"),
+        "--port", "0", "--workers", "2", "--ncores", "4",
+        "--benchmarks", ",".join(BENCHMARK_SUBSET),
+    ]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    env = dict(os.environ)
+    env.setdefault("REPRO_MAX_SLICES", "12")
+    env.setdefault("REPRO_ACCESSES_PER_SET", "400")
+    proc = subprocess.Popen(
+        cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    base = None
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited during startup (rc={proc.poll()})"
+            )
+        print(f"[serve] {line.rstrip()}")
+        if line.startswith("listening on "):
+            base = line.split("listening on ", 1)[1].strip()
+            break
+    if base is None:
+        proc.kill()
+        raise SystemExit("server never reported its address")
+    return proc, base
+
+
+def _wait_healthy(base: str) -> None:
+    deadline = time.monotonic() + STARTUP_TIMEOUT_S
+    while time.monotonic() < deadline:
+        try:
+            health = _get_json(base + "/healthz", timeout=5.0)
+            if health.get("status") == "ok":
+                return
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+    raise SystemExit("/healthz never came up")
+
+
+def _poll_done(base: str, job_id: str) -> dict:
+    deadline = time.monotonic() + JOB_TIMEOUT_S
+    while time.monotonic() < deadline:
+        status = _get_json(f"{base}/jobs/{job_id}")
+        if status["status"] == "done":
+            return status
+        if status["status"] == "failed":
+            raise SystemExit(f"job {job_id} failed: {status.get('error')}")
+        time.sleep(0.5)
+    raise SystemExit(f"job {job_id} still not done after {JOB_TIMEOUT_S}s")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the committed baseline with the fresh hashes",
+    )
+    args = parser.parse_args(argv)
+
+    proc, base = _start_server(args.cache_dir)
+    failures = []
+    report: dict = {
+        "benchmark": "service_smoke",
+        "max_slices": os.environ.get("REPRO_MAX_SLICES", "12"),
+        "accesses_per_set": os.environ.get("REPRO_ACCESSES_PER_SET", "400"),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "jobs": {},
+    }
+    try:
+        _wait_healthy(base)
+        for label, body in SMOKE_JOBS.items():
+            submitted = _post_json(base + "/jobs", body)
+            _poll_done(base, submitted["job_id"])
+            result = _get_json(f"{base}/jobs/{submitted['job_id']}/result")
+            report["jobs"][label] = {
+                "job_id": submitted["job_id"],
+                "result_hash": result["result_hash"],
+                "total_energy_nj": result["total_energy_nj"],
+            }
+            print(f"{label:20s} hash {result['result_hash']}  "
+                  f"energy {result['total_energy_nj']:.4g} nJ")
+
+        # Resubmitting an identical request must coalesce, not re-run.
+        again = _post_json(base + "/jobs", SMOKE_JOBS["smoke-s1-rm2"])
+        if not again.get("deduped"):
+            failures.append("resubmission was not deduplicated")
+
+        with urllib.request.urlopen(base + "/metrics", timeout=30.0) as resp:
+            metrics_text = resp.read().decode()
+        metrics = {
+            line.split()[0]: float(line.split()[1])
+            for line in metrics_text.splitlines()
+            if line and not line.startswith("#")
+        }
+        report["metrics"] = {
+            k: metrics[k]
+            for k in ("repro_service_jobs_done", "repro_service_simulations",
+                      "repro_service_jobs_deduped", "repro_service_queue_depth")
+        }
+        if metrics["repro_service_jobs_done"] < len(SMOKE_JOBS):
+            failures.append(f"jobs_done metric too low: {metrics}")
+        if metrics["repro_service_jobs_deduped"] < 1:
+            failures.append("dedup metric never incremented")
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+
+    fresh_path = write_bench_artifact("service_smoke", report)
+    if args.update:
+        os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
+        shutil.copyfile(fresh_path, BASELINE_PATH)
+        print(f"baseline updated: {BASELINE_PATH}")
+        return 0
+
+    if not os.path.exists(BASELINE_PATH):
+        failures.append(
+            f"no committed baseline at {BASELINE_PATH}; run with --update"
+        )
+    else:
+        with open(BASELINE_PATH, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        for label, fresh in report["jobs"].items():
+            want = baseline.get("jobs", {}).get(label, {}).get("result_hash")
+            if fresh["result_hash"] != want:
+                failures.append(
+                    f"{label}: hash {fresh['result_hash']} != baseline {want}"
+                )
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("service smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

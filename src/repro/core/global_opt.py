@@ -144,12 +144,24 @@ def _scratch_map() -> dict:
     return bufs
 
 
+#: Scratch-cache capacity (shapes held per thread before eviction).
+_SCRATCH_CAP = 256
+
+
+def _scratch_evict(bufs: dict) -> None:
+    """Evict oldest-inserted entries only (dicts preserve insertion order):
+    wiping the whole table on mixed-size workloads would also drop the
+    still-hot shapes -- including the prefilled-inf pads -- and cause
+    realloc + refill churn every 257th distinct shape."""
+    while len(bufs) >= _SCRATCH_CAP:
+        bufs.pop(next(iter(bufs)))
+
+
 def _scratch(key: tuple, shape) -> np.ndarray:
     bufs = _scratch_map()
     buf = bufs.get(key)
     if buf is None:
-        if len(bufs) >= 256:
-            bufs.clear()
+        _scratch_evict(bufs)
         buf = np.empty(shape)
         bufs[key] = buf
     return buf
@@ -166,8 +178,7 @@ def _padded_scratch(na: int, nb: int) -> np.ndarray:
     bufs = _scratch_map()
     buf = bufs.get(key)
     if buf is None:
-        if len(bufs) >= 256:
-            bufs.clear()
+        _scratch_evict(bufs)
         buf = np.full(na + 2 * (nb - 1), np.inf)
         bufs[key] = buf
     return buf

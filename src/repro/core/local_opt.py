@@ -104,12 +104,15 @@ def local_optimize_batch(
     f_sel = freqs[best % len(freqs)]
     # Infeasible columns keep inf epi; their (c, f) entries are meaningless
     # but harmless because the global optimiser never selects them.
+    # Curves hold row views of the batch outputs: the arrays above are
+    # freshly allocated, owned only by these (frozen, never-mutated)
+    # curves, so per-row copies would buy nothing.
     return [
         EnergyCurve(
             core_id=core_id,
-            epi=epi[i].copy(),
-            freq_idx=f_sel[i].astype(int),
-            core_idx=c_sel[i].astype(int),
+            epi=epi[i],
+            freq_idx=f_sel[i],
+            core_idx=c_sel[i],
         )
         for i, core_id in enumerate(core_ids)
     ]

@@ -54,11 +54,12 @@ system size.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.config import Allocation, SystemConfig
+from repro.config import Allocation, AllocationMap, SystemConfig
 from repro.core.batch_opt import analytical_curves_batch, oracle_curves_batch
 from repro.core.curves import EnergyCurve
 from repro.core.energy_model import predict_epi_grid
@@ -70,6 +71,7 @@ from repro.core.global_opt import (
 )
 from repro.core.local_opt import DimSpec, local_optimize
 from repro.core.models import MLP_MODELS
+from repro.core.packed_tree import PackedReduction, packed_enabled
 from repro.core.overhead_meter import OverheadMeter
 from repro.core.perf_model import predict_tpi_grid
 from repro.core.qos import qos_target_tpi
@@ -101,11 +103,15 @@ class ResourceManager(ABC):
     def __init__(self) -> None:
         self.meter = OverheadMeter()
         self.sim = None
+        self._stage_timer = None
 
     def attach(self, sim) -> None:
         """Bind the manager to a simulator run and reset its run state."""
         self.sim = sim
         self.meter = OverheadMeter()
+        # Kernel-owned per-stage profiling (REPRO_PROFILE); None when off or
+        # when the simulator bridge predates the hook.
+        self._stage_timer = getattr(sim, "stage_timer", None)
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
         """The co-location set changed on ``core_id`` (scenario swap/depart).
@@ -193,13 +199,22 @@ class CoordinatedManager(ResourceManager):
     def _init_trees(self, system: SystemConfig) -> None:
         """Build the persistent reduction structure for ``incremental=True``.
 
-        The flat manager keeps one tree over all cores;
-        :class:`ClusteredManager` overrides this with per-cluster trees plus
-        the second-level combine.
+        The flat manager keeps one tree over all cores -- at many-core
+        scale (:func:`~repro.core.packed_tree.packed_enabled`) the packed
+        level-synchronous variant, below it the node-graph reference; both
+        expose the same ``set_leaves``/``invalidate``/``solve`` surface and
+        are bit-identical.  :class:`ClusteredManager` overrides this with
+        the hierarchical tier.
         """
-        self._tree = ReductionTree(
-            system.ncores, system.llc.ways, system.min_ways_per_core
-        )
+        if packed_enabled(system.ncores):
+            self._tree = PackedReduction(
+                (system.ncores,), (system.llc.ways,),
+                system.llc.ways, system.min_ways_per_core,
+            )
+        else:
+            self._tree = ReductionTree(
+                system.ncores, system.llc.ways, system.min_ways_per_core
+            )
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
         """Drop the departed tenant's curve and splice the tree leaf.
@@ -464,7 +479,7 @@ class CoordinatedManager(ResourceManager):
         self.curves[core_id] = self._analytical_curve_memo(core_id)
         return None
 
-    def _to_allocations(self, assignment) -> dict[int, Allocation] | None:
+    def _to_allocations(self, assignment, touched=None) -> dict[int, Allocation] | None:
         """Convert a solved ``{core: (c, f, w)}`` map into allocations.
 
         Allocation objects are cached per setting, so a core whose setting
@@ -474,6 +489,13 @@ class CoordinatedManager(ResourceManager):
         short-circuits to the previous allocation map -- the same dict
         object, which the kernel recognises as already applied.  Returned
         maps are treated as immutable by that contract.
+
+        ``touched`` (the packed solver's rewritten core ids) upgrades the
+        translation to a delta: every untouched entry of ``assignment`` is
+        object-identical to the previous one, so the new map copies the
+        previous map wholesale and re-translates only the touched cores,
+        annotating the result (:class:`AllocationMap`) so the kernel's
+        apply loop can skip the untouched entries as well.
         """
         if assignment is None:
             return None
@@ -481,7 +503,28 @@ class CoordinatedManager(ResourceManager):
         if cached is not None and cached[0] is assignment:
             return cached[1]
         cache = self._alloc_cache
-        out: dict[int, Allocation] = {}
+        if (
+            touched is not None
+            and cached is not None
+            and len(cached[1]) == len(assignment)
+        ):
+            prev_out = cached[1]
+            out = AllocationMap(prev_out)
+            delta: list[tuple[int, Allocation]] = []
+            for j in touched:
+                setting = assignment[j]
+                alloc = cache.get(setting)
+                if alloc is None:
+                    c, f, w = setting
+                    alloc = Allocation(core=c, freq=f, ways=w)
+                    cache[setting] = alloc
+                if prev_out[j] is not alloc:
+                    out[j] = alloc
+                    delta.append((j, alloc))
+            out.delta = delta
+            self._alloc_out = (assignment, out)
+            return out
+        out = AllocationMap()
         for j, setting in assignment.items():
             alloc = cache.get(setting)
             if alloc is None:
@@ -497,13 +540,25 @@ class CoordinatedManager(ResourceManager):
         if not self.incremental:
             return self._on_interval_reference(core_id)
         system = self.sim.system
+        timer = self._stage_timer
+        if timer is not None:
+            t0 = time.perf_counter()
         oracle_leaves = self._begin_decision(core_id)
+        if timer is not None:
+            t1 = time.perf_counter()
+            timer.add("manager.curves", t1 - t0)
         tree = self._tree
         tree.set_leaves(
             self._live_leaves(range(system.ncores), oracle_leaves,
                               self._inactive_cores())
         )
-        return self._to_allocations(tree.solve(self.meter))
+        assignment = tree.solve(self.meter)
+        out = self._to_allocations(
+            assignment, getattr(tree, "last_touched", None)
+        )
+        if timer is not None:
+            timer.add("manager.reduce", time.perf_counter() - t1)
+        return out
 
     def _on_interval_reference(self, core_id: int) -> dict[int, Allocation] | None:
         """The pre-batching decision path, verbatim (executable reference)."""
@@ -593,6 +648,10 @@ class ClusteredManager(CoordinatedManager):
         self._cluster_trees: list[ReductionTree] = []
         self._cluster_of: dict[int, tuple[int, int]] = {}
         self._level2: ReductionTree | None = None
+        # The many-core fast path: the whole hierarchy planned into one
+        # level-synchronous PackedReduction (None below PACKED_MIN_CORES).
+        self._packed: PackedReduction | None = None
+        self._packed_base: list[int] = []
         # Clusters whose leaf inputs may have changed since their last
         # grouped refresh (see on_interval).
         self._stale_clusters: set[int] = set()
@@ -601,25 +660,50 @@ class ClusteredManager(CoordinatedManager):
         self._cluster_roots: list = []
 
     def _init_trees(self, system: SystemConfig) -> None:
-        """Per-cluster capped trees plus the second-level combine tree."""
+        """Per-cluster capped trees plus the second-level combine tree.
+
+        At many-core scale (:func:`~repro.core.packed_tree.packed_enabled`)
+        the entire hierarchy is planned into one
+        :class:`~repro.core.packed_tree.PackedReduction` instead: every
+        cluster's combine levels and the second-level stage share the same
+        packed matrices, so one invocation performs ~log N batched sweeps
+        over all dirty clusters at once rather than per-node dispatches.
+        Both paths are bit-identical (``tests/test_packed_tree.py``).
+        """
         self._clusters = partition_clusters(system.ncores, self.cluster_size)
         caps = cluster_way_caps(
             system.llc.ways, system.ncores, self._clusters,
             system.min_ways_per_core, self.overprovision,
         )
-        self._cluster_trees = [
-            ReductionTree(len(members), cap, system.min_ways_per_core)
-            for members, cap in zip(self._clusters, caps)
-        ]
         self._cluster_of = {
             j: (ci, local)
             for ci, members in enumerate(self._clusters)
             for local, j in enumerate(members)
         }
+        self._stale_clusters = set(range(len(self._clusters)))
+        if packed_enabled(system.ncores):
+            self._packed = PackedReduction(
+                tuple(len(members) for members in self._clusters),
+                tuple(caps), system.llc.ways, system.min_ways_per_core,
+            )
+            bases, base = [], 0
+            for members in self._clusters:
+                bases.append(base)
+                base += len(members)
+            self._packed_base = bases
+            self._cluster_trees = []
+            self._level2 = None
+            self._cluster_roots = []
+            return
+        self._packed = None
+        self._packed_base = []
+        self._cluster_trees = [
+            ReductionTree(len(members), cap, system.min_ways_per_core)
+            for members, cap in zip(self._clusters, caps)
+        ]
         self._level2 = ReductionTree(
             len(self._clusters), system.llc.ways, system.min_ways_per_core
         )
-        self._stale_clusters = set(range(len(self._clusters)))
         self._cluster_roots = [None] * len(self._clusters)
 
     def on_scenario_event(self, core_id: int, kind: str) -> None:
@@ -627,7 +711,11 @@ class ClusteredManager(CoordinatedManager):
         # The base class drops the held curve (its flat-tree branch is a
         # no-op here: the hierarchy never installs self._tree).
         super().on_scenario_event(core_id, kind)
-        if self._cluster_trees:
+        if self._packed is not None:
+            ci, local = self._cluster_of[core_id]
+            self._packed.invalidate(self._packed_base[ci] + local)
+            self._stale_clusters.add(ci)
+        elif self._cluster_trees:
             ci, local = self._cluster_of[core_id]
             self._cluster_trees[ci].invalidate(local)
             self._stale_clusters.add(ci)
@@ -642,6 +730,8 @@ class ClusteredManager(CoordinatedManager):
         fully clean cluster short-circuits to a single replay charge)
         instead of per-core tree walks.
         """
+        if self._packed is not None:
+            return self._on_interval_packed(core_id)
         oracle_leaves = self._begin_decision(core_id)
         level2 = self._level2
         meter = self.meter
@@ -676,6 +766,40 @@ class ClusteredManager(CoordinatedManager):
             meter.charge_replay(dp_cells=replay_cells)
         self._stale_clusters = set()
         return self._to_allocations(level2.solve(meter))
+
+    def _on_interval_packed(self, core_id: int) -> dict[int, Allocation] | None:
+        """The many-core decision through the packed hierarchy.
+
+        Stale-cluster bookkeeping mirrors the node-graph path exactly: a
+        stale cluster re-installs its member leaves (identity-checked, so
+        unchanged curves stay clean), then one packed solve recombines
+        every dirty root path of every cluster -- cluster levels and the
+        second-level combine alike -- in ~log N batched sweeps, charging
+        the invocation's static DP total in a single integer-exact replay.
+        """
+        timer = self._stage_timer
+        if timer is not None:
+            t0 = time.perf_counter()
+        oracle_leaves = self._begin_decision(core_id)
+        if timer is not None:
+            t1 = time.perf_counter()
+            timer.add("manager.curves", t1 - t0)
+        packed = self._packed
+        stale = self._stale_clusters
+        stale.add(self._cluster_of[core_id][0])
+        if self.oracle:
+            stale = range(len(self._clusters))
+        inactive = self._inactive_cores() if oracle_leaves is None else frozenset()
+        for ci in stale:
+            packed.set_group_leaves(
+                ci, self._live_leaves(self._clusters[ci], oracle_leaves, inactive)
+            )
+        self._stale_clusters = set()
+        assignment = packed.solve(self.meter)
+        out = self._to_allocations(assignment, packed.last_touched)
+        if timer is not None:
+            timer.add("manager.reduce", time.perf_counter() - t1)
+        return out
 
 
 def _make_manager(

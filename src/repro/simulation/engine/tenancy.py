@@ -72,6 +72,15 @@ class TenancyModel:
             k for k, q in enumerate(self.pending) if q
         )
         self.n_active: int = int(scheduler.arrays.active.sum())
+        # Earliest head-of-queue time over *idle* pending cores.  Idle cores
+        # are the only ones whose requests any global event can apply, so
+        # while ``now`` is below this mark the scan in :meth:`apply_due` can
+        # only touch ``completed_core`` -- and a cheap head peek covers that.
+        # Active/idle status only changes inside :meth:`apply_event`, i.e.
+        # inside a scan, so the mark recomputed after each scan stays valid
+        # between scans.  Start at ``-inf``: the first call always scans and
+        # establishes the mark from live core state.
+        self._idle_due_ns: float = -math.inf
 
     def next_pending_ns(self) -> float:
         """Earliest pending request time, ``inf`` if none remain."""
@@ -127,6 +136,13 @@ class TenancyModel:
         visited, in ascending core order -- the same application order as a
         full scan, so replays stay bit-identical.
         """
+        if now < self._idle_due_ns:
+            # No idle core's head is due, and busy cores other than
+            # ``completed_core`` never pick up requests here: the full scan
+            # could only apply the completed core's head, so peek at it.
+            q = self.pending[completed_core] if completed_core is not None else ()
+            if not q or q[0].time_ns > now:
+                return False
         tenancy_changed = False
         drained = False
         for k in self._pending_cores:
@@ -142,4 +158,12 @@ class TenancyModel:
             drained = drained or not queue
         if drained:
             self._pending_cores = [k for k in self._pending_cores if self.pending[k]]
+        active = self.scheduler.arrays.active
+        mark = math.inf
+        for k in self._pending_cores:
+            if not active[k]:
+                t = self.pending[k][0].time_ns
+                if t < mark:
+                    mark = t
+        self._idle_due_ns = mark
         return tenancy_changed

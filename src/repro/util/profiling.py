@@ -1,0 +1,64 @@
+"""Opt-in per-stage wall-clock accounting for replays (``REPRO_PROFILE=1``).
+
+Set the ``REPRO_PROFILE`` environment variable and every
+:class:`~repro.simulation.engine.kernel.SimulationKernel` run accumulates a
+:class:`StageTimer` and dumps its breakdown to stderr when the run
+finishes -- the quick way to see where a service or bench replay spends
+its time without attaching a profiler:
+
+* ``manager.decide`` -- the resource manager's ``on_interval`` calls,
+  split further by the coordinated managers into ``manager.curves``
+  (model-grid construction and memo lookups) and ``manager.reduce``
+  (reduction refresh + solve);
+* ``kernel.apply`` -- applying returned allocation maps;
+* ``kernel.advance`` -- derived remainder of ``run.total``: scheduling,
+  vector advance, interval bookkeeping and tenancy.
+
+When profiling is off (the default) the kernel holds no timer and the hot
+path pays one ``is None`` test per instrumented site.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+__all__ = ["profiling_enabled", "StageTimer"]
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks for per-stage replay timing."""
+    return os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds per named replay stage."""
+
+    __slots__ = ("stages",)
+
+    def __init__(self) -> None:
+        self.stages: dict[str, float] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock into ``stage``."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def breakdown(self) -> dict[str, float]:
+        """The accumulated stages plus the derived ``kernel.advance``
+        remainder (everything in ``run.total`` not attributed to the
+        manager or the apply loop)."""
+        out = dict(self.stages)
+        total = out.get("run.total")
+        if total is not None:
+            attributed = out.get("manager.decide", 0.0) + out.get("kernel.apply", 0.0)
+            out["kernel.advance"] = max(0.0, total - attributed)
+        return out
+
+    def dump(self, label: str, stream=None) -> None:
+        """Write the breakdown as one stderr line (``REPRO_PROFILE`` hook)."""
+        if stream is None:
+            stream = sys.stderr
+        parts = " ".join(
+            f"{k}={v:.4f}s" for k, v in sorted(self.breakdown().items())
+        )
+        print(f"[REPRO_PROFILE] {label}: {parts}", file=stream)

@@ -140,6 +140,42 @@ class TestBatchedCurves:
         assert_same_curves(batched, looped)
         assert meter_b.instructions == meter_l.instructions
 
+    def test_batch_curves_are_views_of_one_buffer(self, system4, db4):
+        """The batch path hands out row *views*, not per-row copies.
+
+        Each returned curve's arrays must alias one shared batch output
+        (``N`` rows, one allocation) -- the copy-free contract the packed
+        reduction's ingest relies on -- while staying value-identical to
+        the scalar path row by row.
+        """
+        from repro.core.local_opt import local_optimize_batch
+
+        model = MLP_MODELS["model2"]
+        recs, snaps = _stats(system4, db4, seed=29, n=5)
+        mpki = np.stack([np.asarray(r.mpki_sampled, dtype=float) for r in recs])
+        mlp = np.stack(
+            [model.mlp_hat(system4, s, r.mlp_sampled) for s, r in zip(snaps, recs)]
+        )
+        tpi = predict_tpi_grid_batch(system4, snaps, mpki, mlp)
+        epi = predict_epi_grid_batch(system4, snaps, mpki, tpi)
+        targets = np.array([
+            qos_target_tpi(system4, t, 0.0) for t in tpi
+        ])
+        dims = DimSpec(core_indices=(1,))
+        curves = local_optimize_batch(
+            system4, list(range(5)), tpi, epi, targets, dims
+        )
+        epi_base = curves[0].epi.base
+        assert epi_base is not None  # a view, not an owning copy
+        for i, c in enumerate(curves):
+            assert c.epi.base is epi_base
+            assert c.freq_idx.base is curves[0].freq_idx.base
+            assert c.core_idx.base is curves[0].core_idx.base
+            want = local_optimize(
+                system4, i, tpi[i], epi[i], float(targets[i]), dims
+            )
+            assert_same_curves([c], [want])
+
     def test_per_core_pins_equal_loop(self, system4, db4):
         """The UCP+DVFS manager's per-core fixed partitions."""
         model = MLP_MODELS["model2"]

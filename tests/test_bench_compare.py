@@ -108,6 +108,53 @@ class TestCompareRules:
         assert any("rm2-combined" in p and "missing" in p for p in problems)
 
 
+class TestThroughputNotes:
+    """``events_per_sec`` deltas are report-only notes, never failures."""
+
+    def _with_throughput(self, value):
+        out = copy.deepcopy(BASE)
+        out["managers"]["rm2-combined"]["events_per_sec"] = value
+        return out
+
+    def test_delta_is_noted_not_gated(self):
+        notes: list[str] = []
+        problems = compare_reports(
+            self._with_throughput(1000.0), self._with_throughput(2150.0),
+            notes=notes,
+        )
+        assert problems == []
+        assert len(notes) == 1
+        assert "events_per_sec" in notes[0]
+        assert "+115.0%" in notes[0]
+
+    def test_throughput_drop_never_fails_the_gate(self):
+        # A 10x throughput collapse is loud in the notes but the verdict
+        # comes from the gated wall-clocks, which have noise slack.
+        notes: list[str] = []
+        problems = compare_reports(
+            self._with_throughput(5000.0), self._with_throughput(500.0),
+            notes=notes,
+        )
+        assert problems == []
+        assert any("-90.0%" in n for n in notes)
+
+    def test_prefixed_throughput_keys_are_noted(self):
+        base = self._with_throughput(1000.0)
+        base["managers"]["rm2-combined"]["baseline_events_per_sec"] = 400.0
+        got = copy.deepcopy(base)
+        got["managers"]["rm2-combined"]["baseline_events_per_sec"] = 800.0
+        notes: list[str] = []
+        assert compare_reports(base, got, notes=notes) == []
+        assert any("baseline_events_per_sec" in n for n in notes)
+
+    def test_notes_are_optional(self):
+        # Callers that pass no collector (the unit-rule tests above) still
+        # get a clean problems list.
+        assert compare_reports(
+            self._with_throughput(1000.0), self._with_throughput(10.0)
+        ) == []
+
+
 class TestGateCli:
     def _write(self, directory, report):
         os.makedirs(directory, exist_ok=True)

@@ -16,6 +16,10 @@ fails (exit 1) on:
 * a ``speedup`` ratio dropping by more than ``--threshold``, skipped when
   every wall-clock in the same record is below ``--min-delta-s``.
 
+``events_per_sec`` throughput deltas are printed as report-only ``note``
+lines next to each verdict -- never gated (the wall-clocks behind them
+already are).
+
 Refreshing baselines (after an intentional perf or semantics change)::
 
     PYTHONPATH=src python tools/bench_smoke.py
@@ -112,8 +116,16 @@ def compare_reports(
     fresh: dict,
     threshold: float = 0.25,
     min_delta_s: float = 0.1,
+    notes: list[str] | None = None,
 ) -> list[str]:
-    """Problems found comparing one baseline report against a fresh one."""
+    """Problems found comparing one baseline report against a fresh one.
+
+    ``notes``, when given, collects report-only observations -- throughput
+    (``events_per_sec``) deltas against the baseline -- that never fail the
+    gate: wall-clocks are gated with calibration rescaling and noise slack,
+    so their reciprocal would double-count every regression, but the delta
+    is the headline number a perf PR wants printed next to ``ok``.
+    """
     problems: list[str] = []
     # Calibration rescale: a slower machine inflates every wall-clock by
     # roughly the same factor as the fixed yardstick workload.
@@ -142,6 +154,18 @@ def compare_reports(
                 problems.append(f"{here}: fresh run is not bit-identical")
             elif b != f:
                 problems.append(f"{here}: {b!r} -> {f!r} (exact-match key)")
+            continue
+        if key.endswith("events_per_sec"):
+            if (
+                notes is not None
+                and isinstance(b, (int, float))
+                and isinstance(f, (int, float))
+                and b > 0
+            ):
+                notes.append(
+                    f"{here}: {b:,.0f} -> {f:,.0f} events/s "
+                    f"({(f - b) / b:+.1%})"
+                )
             continue
         if key == "speedup":
             if _max_wall_s(_record_at(base, path)) < min_delta_s:
@@ -213,7 +237,10 @@ def main(argv: list[str] | None = None) -> int:
             base = json.load(fh)
         with open(path, encoding="utf-8") as fh:
             fresh = json.load(fh)
-        problems = compare_reports(base, fresh, args.threshold, args.min_delta_s)
+        notes: list[str] = []
+        problems = compare_reports(
+            base, fresh, args.threshold, args.min_delta_s, notes=notes
+        )
         if problems:
             failed = True
             print(f"FAIL {name}:")
@@ -221,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"  - {p}")
         else:
             print(f"ok   {name}")
+        for n in notes:
+            print(f"  note {n}")
     return 1 if failed else 0
 
 

@@ -10,14 +10,22 @@ over HTTP:
   :class:`~repro.experiments.runner.ManagerSpec`; the job id *is* the
   results-store content hash of that request, so identical requests are
   identical jobs by construction.
-* :mod:`repro.service.pool` -- :class:`ReplayService`: a thread worker
-  pool over the runner's spawn-safe ``parallel_map`` machinery, sharing
-  one simulation database and one ``.sim_cache`` results store, with
-  in-flight dedup (concurrent identical submissions coalesce onto one
-  run) and service metrics.
+* :mod:`repro.service.pool` -- :class:`ReplayService`: worker threads
+  draining a bounded two-lane (``interactive``/``bulk``) admission queue
+  over the runner's spawn-safe ``parallel_map`` machinery, sharing one
+  simulation database and one ``.sim_cache`` results store, with in-flight
+  dedup (concurrent identical submissions coalesce onto one run) and
+  service metrics.
+* :mod:`repro.service.executor` -- where a job's replay actually runs: in
+  the worker thread, or on a persistent per-system-size process pool with
+  results flowing back through the content-addressed store.
+* :mod:`repro.service.journal` -- an fsync'd append-only JSONL write-ahead
+  log of job transitions, replayed on boot so queued and in-flight jobs
+  survive a crash or restart.
 * :mod:`repro.service.api` -- a thin stdlib HTTP surface: submit / poll /
   fetch results / stream interval samples as server-sent batches, plus
-  ``/healthz`` and ``/metrics``.
+  ``/healthz`` and ``/metrics``; full queues answer ``429`` +
+  ``Retry-After``.
 
 Start one from the command line with ``tools/serve.py``.
 """
@@ -29,7 +37,9 @@ from repro.service.jobs import (
     build_item,
     job_spec_from_json,
 )
-from repro.service.pool import Job, ReplayService
+from repro.service.executor import EXECUTOR_KINDS, make_executor
+from repro.service.journal import JobJournal, JournalRecord
+from repro.service.pool import LANES, Job, QueueFullError, ReplayService
 from repro.service.api import make_server
 
 __all__ = [
@@ -38,7 +48,13 @@ __all__ = [
     "WORKLOAD_SHAPE",
     "build_item",
     "job_spec_from_json",
+    "EXECUTOR_KINDS",
+    "make_executor",
+    "JobJournal",
+    "JournalRecord",
+    "LANES",
     "Job",
+    "QueueFullError",
     "ReplayService",
     "make_server",
 ]

@@ -3,8 +3,11 @@
 Endpoints (all JSON unless noted):
 
 * ``POST /jobs`` -- submit a replay request (the :mod:`repro.service.jobs`
-  wire format); returns ``{job_id, status, deduped}``.  Identical requests
-  return the same ``job_id``.
+  wire format, plus an optional ``"lane"`` of ``interactive`` or ``bulk``);
+  returns ``{job_id, status, deduped, lane}``.  Identical requests return
+  the same ``job_id``.  When the admission queue is full the submission is
+  rejected with ``429`` and a ``Retry-After`` header estimating when
+  capacity frees up.
 * ``GET /jobs/<id>`` -- poll one job's status.
 * ``GET /jobs/<id>/result`` -- the finished run's scored numbers and
   canonical ``result_hash`` (409 while queued/running, 410 when failed).
@@ -25,7 +28,7 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
-from repro.service.pool import Job, ReplayService
+from repro.service.pool import Job, QueueFullError, ReplayService
 
 __all__ = ["make_server", "ReplayHTTPServer"]
 
@@ -46,9 +49,7 @@ class ReplayHTTPServer(ThreadingHTTPServer):
         self.service = service
 
 
-def make_server(
-    service: ReplayService, host: str = "127.0.0.1", port: int = 0
-) -> ReplayHTTPServer:
+def make_server(service: ReplayService, host: str = "127.0.0.1", port: int = 0) -> ReplayHTTPServer:
     """Bind a server for ``service`` (``port=0`` picks a free port)."""
     return ReplayHTTPServer((host, port), service)
 
@@ -133,6 +134,22 @@ class _Handler(BaseHTTPRequestHandler):
             return
         try:
             job, deduped = self.server.service.submit_info(payload)
+        except QueueFullError as exc:
+            body = json.dumps(
+                {
+                    "error": str(exc),
+                    "queue_depth": exc.depth,
+                    "queue_capacity": exc.max_queue,
+                    "retry_after_s": exc.retry_after_s,
+                }
+            ).encode()
+            self.send_response(429)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Retry-After", str(max(1, int(exc.retry_after_s))))
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
         except ValueError as exc:
             self._send_error_json(400, str(exc))
             return
@@ -142,6 +159,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "job_id": job.job_id,
                 "status": job.status,
                 "deduped": deduped,
+                "lane": job.lane,
                 "submissions": job.submissions,
             },
         )
@@ -191,9 +209,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ---- SSE ----------------------------------------------------------------
     def _sse_event(self, event: str, payload: dict) -> None:
-        self.wfile.write(
-            f"event: {event}\ndata: {json.dumps(payload)}\n\n".encode()
-        )
+        self.wfile.write(f"event: {event}\ndata: {json.dumps(payload)}\n\n".encode())
 
     def _stream_samples(self, job: Job, query: dict) -> None:
         """Stream a run's interval samples as server-sent batches.

@@ -1,0 +1,181 @@
+"""Replay executors: where one accepted job's simulation actually runs.
+
+The worker pool in :mod:`repro.service.pool` is N *threads* draining the
+admission queue; an executor decides what those threads block on:
+
+* :class:`ThreadExecutor` -- run the replay in the worker thread itself
+  (through the runner's serial ``parallel_map`` path).  Zero setup cost,
+  but concurrent CPU-bound replays share one GIL.
+* :class:`ProcessPoolExecutor` -- dispatch the replay to a persistent
+  ``multiprocessing`` pool (one pool per system size, built with the same
+  spawn-safe ``_init_worker`` protocol every batch driver uses), so
+  concurrent jobs get real CPU parallelism.  The worker process runs
+  exactly ``_run_one`` / ``_run_one_scenario`` -- the library's own replay
+  entry points -- and publishes the result **through the content-addressed
+  results store**: it writes the atomic ``run_<key>.pkl`` and hands back
+  only the canonical digest, the parent then loads the very bytes the
+  worker persisted.  Bit-identity with the thread path is therefore
+  structural, and a digest cross-check turns any disagreement into a loud
+  failure instead of a silent drift.
+
+Both executors are selected per service instance
+(``ReplayService(executor=...)``, ``tools/serve.py --executor``) and
+produce byte-identical results; ``tests/test_service_concurrency.py``
+runs the 16-job S1-S7 storm through both and compares every hash.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import threading
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    ManagerSpec,
+    _init_worker,
+    _run_one,
+    _run_one_scenario,
+)
+from repro.scenarios.events import Scenario
+from repro.simulation.metrics import RunResult, run_result_digest
+from repro.workloads.mixes import Workload
+
+__all__ = ["ThreadExecutor", "ProcessPoolExecutor", "make_executor", "EXECUTOR_KINDS"]
+
+EXECUTOR_KINDS = ("thread", "process")
+
+
+class ThreadExecutor:
+    """Run replays inline on the service worker thread (the PR-6 behaviour)."""
+
+    name = "thread"
+    #: The pool persists results itself after this executor returns.
+    stores_results = False
+
+    def run(
+        self,
+        ctx: ExperimentContext,
+        job_id: str,
+        item: Scenario | Workload,
+        manager: ManagerSpec,
+    ) -> RunResult:
+        """Execute one replay in the calling thread.
+
+        Routed through the *pool module's* ``_execute_replay`` global, so
+        the crash-containment tests keep a single monkeypatch point no
+        matter which executor the service was built with.
+        """
+        from repro.service import pool
+
+        return pool._execute_replay(ctx, item, manager)
+
+    def close(self) -> None:
+        """Nothing to release: the executor owns no processes."""
+
+
+def _execute_and_store(args: tuple) -> tuple:
+    """Pool-worker entry point: replay one job, publish through the store.
+
+    Runs inside a worker process whose context was installed by
+    ``_init_worker`` (the spawn-safe protocol).  With a results store
+    configured the result is persisted atomically and only the canonical
+    digest crosses the process boundary; without one the result itself is
+    pickled back.
+    """
+    task, job_id = args
+    item = task[0]
+    worker = _run_one_scenario if isinstance(item, Scenario) else _run_one
+    result = worker(task)
+    from repro.experiments.runner import _worker_ctx
+
+    store = _worker_ctx().results_store
+    if store is not None:
+        store.put(job_id, result)
+        return ("stored", run_result_digest(result))
+    return ("inline", result)
+
+
+class ProcessPoolExecutor:
+    """Persistent per-system-size process pools for CPU-parallel replays.
+
+    ``processes`` bounds each pool's worker count (defaults to the service
+    worker-thread count, so every thread can be running a job at once);
+    ``start_method`` follows :func:`repro.util.parallel.parallel_map`'s
+    convention (``fork`` where available, else ``spawn``) -- the context is
+    shipped to workers via pickled ``initargs`` either way, which is what
+    makes the protocol spawn-safe.
+    """
+
+    name = "process"
+    stores_results = True
+
+    def __init__(self, processes: int = 2, start_method: str | None = None) -> None:
+        if processes < 1:
+            raise ValueError("process executor needs at least one process")
+        self.processes = processes
+        self.start_method = start_method or ("fork" if hasattr(os, "fork") else "spawn")
+        self._pools: dict[int, mp.pool.Pool] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def _pool_for(self, ctx: ExperimentContext) -> mp.pool.Pool:
+        key = ctx.system.ncores
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("process executor is closed")
+            pool = self._pools.get(key)
+            if pool is None:
+                pool = mp.get_context(self.start_method).Pool(
+                    processes=self.processes,
+                    initializer=_init_worker,
+                    initargs=(ctx,),
+                )
+                self._pools[key] = pool
+        return pool
+
+    def run(
+        self,
+        ctx: ExperimentContext,
+        job_id: str,
+        item: Scenario | Workload,
+        manager: ManagerSpec,
+    ) -> RunResult:
+        """Dispatch one replay to the pool serving ``ctx``'s system size."""
+        task = (item, manager, ctx.max_slices)
+        kind, payload = self._pool_for(ctx).apply(_execute_and_store, ((task, job_id),))
+        if kind == "inline":
+            return payload
+        store = ctx.results_store
+        result = store.get(job_id) if store is not None else None
+        if result is None:
+            raise RuntimeError(
+                f"process worker reported job {job_id} stored, but the parent "
+                "could not load it back from the results store"
+            )
+        digest = run_result_digest(result)
+        if digest != payload:
+            raise RuntimeError(
+                f"job {job_id}: stored digest {digest} != worker digest {payload} "
+                "(results store raced or corrupted between processes)"
+            )
+        return result
+
+    def close(self) -> None:
+        """Terminate and join every pool (idempotent)."""
+        with self._lock:
+            self._closed = True
+            pools = list(self._pools.values())
+            self._pools.clear()
+        for pool in pools:
+            pool.terminate()
+            pool.join()
+
+
+def make_executor(kind: str, *, processes: int = 2, start_method: str | None = None):
+    """Build the executor named by ``kind`` (``thread`` or ``process``)."""
+    if kind == "thread":
+        return ThreadExecutor()
+    if kind == "process":
+        return ProcessPoolExecutor(processes=processes, start_method=start_method)
+    raise ValueError(f"unknown executor kind {kind!r}; known: {', '.join(EXECUTOR_KINDS)}")

@@ -1,0 +1,230 @@
+"""Durable job journal: an append-only JSONL write-ahead log.
+
+The at-rest results store already makes *finished* runs survive a restart;
+this module does the same for **queued and in-flight** jobs.  Every state
+transition of a journalled job appends one JSON line to
+``<journal_dir>/journal.jsonl``:
+
+* ``submitted`` -- carries the full wire-form :class:`~repro.service.jobs.
+  JobSpec` and the admission lane, so the job can be rebuilt from the
+  journal alone;
+* ``claimed`` -- a worker started executing the job (advisory: a claimed
+  job is still recovered, because the claimant may have died mid-run);
+* ``stored`` -- the content-addressed results store persisted the run's
+  bytes (appended through the store's ``on_put`` hook);
+* ``published`` / ``failed`` -- the job settled; settled jobs are not
+  recovered.
+
+Appends are **fsync'd** before the submit path acknowledges a job, so a
+SIGKILL at any instant loses at most work the client was never told was
+accepted.  A torn final line (the crash happened mid-append) is tolerated
+on replay: every complete record before it is recovered, the fragment is
+dropped, and :attr:`JobJournal.torn_lines` counts the drop.
+
+On boot, :meth:`JobJournal.pending` folds the log into the set of
+unsettled jobs and :meth:`JobJournal.compact` atomically rewrites the file
+to just those records (tmp + fsync + ``os.replace``), so the journal stays
+proportional to the live queue instead of growing with service lifetime.
+The journal assumes a single writing service per directory -- run one
+``tools/serve.py`` per journal dir.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+
+__all__ = ["JobJournal", "JournalRecord", "JOURNAL_EVENTS", "JOURNAL_FORMAT_VERSION"]
+
+#: Bump when the record schema changes incompatibly; older journals are
+#: then ignored (their jobs are re-submitted by clients, never corrupted).
+JOURNAL_FORMAT_VERSION = 1
+
+#: The journalled job-state transitions, in lifecycle order.
+JOURNAL_EVENTS = ("submitted", "claimed", "stored", "published", "failed")
+
+#: Events that settle a job (it will not be recovered afterwards).
+_SETTLED = frozenset({"published", "failed"})
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journalled transition; ``spec``/``lane`` are set on ``submitted``."""
+
+    event: str
+    job_id: str
+    lane: str | None = None
+    spec: dict | None = None
+    result_hash: str | None = None
+    error: str | None = None
+
+    def to_json(self) -> dict:
+        """The JSONL wire form (versioned, ``None`` fields omitted)."""
+        payload = {"v": JOURNAL_FORMAT_VERSION, "event": self.event, "job_id": self.job_id}
+        for field in ("lane", "spec", "result_hash", "error"):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = value
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "JournalRecord":
+        """Parse one decoded line; raises ``ValueError`` on schema drift."""
+        if not isinstance(payload, dict):
+            raise ValueError("journal record must be a JSON object")
+        if payload.get("v") != JOURNAL_FORMAT_VERSION:
+            raise ValueError(f"unsupported journal format version {payload.get('v')!r}")
+        event = payload.get("event")
+        if event not in JOURNAL_EVENTS:
+            raise ValueError(f"unknown journal event {event!r}")
+        job_id = payload.get("job_id")
+        if not isinstance(job_id, str) or not job_id:
+            raise ValueError("journal record needs a job_id")
+        return cls(
+            event=event,
+            job_id=job_id,
+            lane=payload.get("lane"),
+            spec=payload.get("spec"),
+            result_hash=payload.get("result_hash"),
+            error=payload.get("error"),
+        )
+
+
+class JobJournal:
+    """Append-only, fsync'd JSONL write-ahead log of job transitions.
+
+    Thread-safe: the service's submit path and every worker thread append
+    through one lock, and each record is written as a single ``write()``
+    call followed by ``flush`` + ``fsync`` -- a crash can tear at most the
+    final line, never interleave two records.
+    """
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.path = os.path.join(root, self.FILENAME)
+        self._lock = threading.Lock()
+        self._fh = None
+        #: Records appended by this process (monotonic, for metrics).
+        self.appends = 0
+        #: Malformed lines dropped by the last :meth:`records` call.
+        self.torn_lines = 0
+
+    # ---- writing ------------------------------------------------------------
+    def _ensure_open(self):
+        if self._fh is None:
+            os.makedirs(self.root, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def append(
+        self,
+        event: str,
+        job_id: str,
+        *,
+        lane: str | None = None,
+        spec: dict | None = None,
+        result_hash: str | None = None,
+        error: str | None = None,
+    ) -> JournalRecord:
+        """Durably append one transition (fsync'd before returning)."""
+        record = JournalRecord(
+            event=event,
+            job_id=job_id,
+            lane=lane,
+            spec=spec,
+            result_hash=result_hash,
+            error=error,
+        )
+        line = json.dumps(record.to_json(), sort_keys=True) + "\n"
+        with self._lock:
+            fh = self._ensure_open()
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.appends += 1
+        return record
+
+    def close(self) -> None:
+        """Close the append handle (reopened automatically on next append)."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # ---- replay -------------------------------------------------------------
+    def records(self) -> list[JournalRecord]:
+        """Every well-formed record, in append order.
+
+        Tolerates a torn final line (crash mid-append) and any malformed
+        line generally: such lines are dropped and counted in
+        :attr:`torn_lines` rather than poisoning recovery.
+        """
+        self.torn_lines = 0
+        out: list[JournalRecord] = []
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return out
+        for line in raw.splitlines():
+            if not line.strip():
+                continue
+            try:
+                out.append(JournalRecord.from_json(json.loads(line)))
+            except ValueError:
+                self.torn_lines += 1
+        return out
+
+    def pending(self) -> dict[str, JournalRecord]:
+        """The unsettled jobs: submitted (or re-submitted) but never
+        published/failed, folded in append order.
+
+        Returns ``{job_id: submitted-record}`` -- each value carries the
+        wire-form spec and lane needed to re-submit the job.  A ``claimed``
+        transition does *not* settle a job (its claimant may have died
+        mid-run), which is exactly what makes in-flight jobs recoverable.
+        """
+        live: dict[str, JournalRecord] = {}
+        for record in self.records():
+            if record.event == "submitted" and record.spec is not None:
+                live[record.job_id] = record
+            elif record.event in _SETTLED:
+                live.pop(record.job_id, None)
+        return live
+
+    def compact(self, pending: dict[str, JournalRecord] | None = None) -> int:
+        """Atomically rewrite the journal down to its pending records.
+
+        Writes the surviving ``submitted`` records to a temp file in the
+        journal directory, fsyncs it, and ``os.replace``s it over the
+        journal -- a crash at any instant leaves either the old or the new
+        journal, never a truncated one.  Returns the surviving record
+        count.
+        """
+        if pending is None:
+            pending = self.pending()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            os.makedirs(self.root, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(prefix="journal.", suffix=".tmp", dir=self.root)
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    for record in pending.values():
+                        fh.write(json.dumps(record.to_json(), sort_keys=True) + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        return len(pending)

@@ -1,14 +1,14 @@
-"""The replay worker pool: queue, dedup, execution, metrics.
+"""The replay worker pool: lanes, admission, dedup, execution, durability.
 
 :class:`ReplayService` owns one :class:`~repro.experiments.runner.
 ExperimentContext` per requested system size (all sharing one simulation
 database cache and one ``.sim_cache`` results store) and N worker threads
-draining a submit queue.  Each job executes through the runner's
-spawn-safe ``parallel_map`` worker protocol
-(:func:`~repro.util.parallel.parallel_map` with
-``_init_worker``/``_run_one_scenario``), i.e. exactly the machinery the
-batch experiment drivers fan out over -- which is why the service path is
-bit-identical to the library path.
+draining a two-lane admission queue.  Each job executes through a
+pluggable executor (:mod:`repro.service.executor`): the ``thread``
+executor replays in the worker thread via the runner's spawn-safe
+``parallel_map`` protocol, the ``process`` executor dispatches to a
+persistent process pool built on the *same* protocol -- which is why the
+service path is bit-identical to the library path under either.
 
 Dedup happens at three tiers, all keyed by the same content hash
 (:func:`~repro.service.jobs.job_key` == the results-store
@@ -24,6 +24,22 @@ Dedup happens at three tiers, all keyed by the same content hash
 3. **at rest** -- the persistent results store serves finished runs across
    service restarts.
 
+Production hardening on top of the PR-6 pool:
+
+* **Admission control** -- the queue is bounded (``max_queue``); an
+  overflowing submission raises :class:`QueueFullError`, which the HTTP
+  layer maps to ``429`` + ``Retry-After``.  Dedup coalescing is always
+  admitted (it adds no work).
+* **Priority lanes** -- ``interactive`` jobs dequeue strictly before
+  ``bulk`` ones, except that after ``bulk_escape_every`` consecutive
+  skips of a waiting bulk job one bulk job is dequeued (starvation
+  escape), bounding bulk wait without letting sweeps delay QoS traffic.
+* **Durability** -- with a :class:`~repro.service.journal.JobJournal`
+  attached, every submitted/claimed/published/failed transition is
+  fsync'd to the write-ahead log before it is acknowledged, and
+  :meth:`ReplayService.recover` re-submits unsettled journalled jobs on
+  boot, so a SIGKILL'd service resumes its queue.
+
 A worker crash mid-job marks the job ``failed`` (with the error) and
 releases any coalesced waiters -- it never hangs clients, and a later
 identical submission retries cleanly.
@@ -31,9 +47,10 @@ identical submission retries cleanly.
 
 from __future__ import annotations
 
-import queue
+import math
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.experiments.runner import (
@@ -45,15 +62,58 @@ from repro.experiments.runner import (
     get_context,
 )
 from repro.scenarios.events import Scenario
+from repro.service.executor import make_executor
 from repro.service.jobs import JobSpec, build_item, job_key, job_spec_from_json
+from repro.service.journal import JobJournal
 from repro.simulation.metrics import RunResult, run_result_digest
 from repro.simulation.results_store import InflightRegistry
 from repro.util.parallel import parallel_map
 from repro.workloads.mixes import Workload
 
-__all__ = ["Job", "ReplayService", "JOB_STATES"]
+__all__ = [
+    "Job",
+    "ReplayService",
+    "QueueFullError",
+    "JOB_STATES",
+    "LANES",
+    "DEFAULT_LANE",
+    "DEFAULT_MAX_QUEUE",
+    "DEFAULT_BULK_ESCAPE_EVERY",
+]
 
 JOB_STATES = ("queued", "running", "done", "failed")
+
+#: Admission lanes, in strict dequeue-priority order.
+LANES = ("interactive", "bulk")
+
+#: Lane assumed when a request names none: unlabelled clients are latency
+#: traffic; sweeps opt into ``bulk`` explicitly.
+DEFAULT_LANE = "interactive"
+
+#: Default bound on queued (not yet running) jobs before 429s start.
+DEFAULT_MAX_QUEUE = 1024
+
+#: A waiting bulk job is dequeued after this many consecutive interactive
+#: dequeues skipped it (the starvation-avoidance escape).
+DEFAULT_BULK_ESCAPE_EVERY = 8
+
+
+class QueueFullError(Exception):
+    """Raised at submit time when the admission queue is at capacity.
+
+    ``retry_after_s`` is the service's estimate of when capacity frees up
+    (queue depth times observed job latency over the worker count); the
+    HTTP layer surfaces it as a ``Retry-After`` header on the 429.
+    """
+
+    def __init__(self, depth: int, max_queue: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"admission queue is full ({depth}/{max_queue} jobs queued); "
+            f"retry in ~{retry_after_s:.0f}s"
+        )
+        self.depth = depth
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
 
 
 def _execute_replay(
@@ -61,15 +121,83 @@ def _execute_replay(
 ) -> RunResult:
     """Run one replay through the runner's spawn-safe worker machinery.
 
-    Module-level so the crash tests can monkeypatch it; routed through
-    ``parallel_map`` with the pool initializer, the exact protocol
+    Module-level so the crash tests can monkeypatch it (both executors'
+    thread paths route through this name); routed through ``parallel_map``
+    with the pool initializer, the exact protocol
     ``ExperimentContext._resolve`` uses for batch fan-out.
     """
     worker = _run_one_scenario if isinstance(item, Scenario) else _run_one
     task = (item, manager, ctx.max_slices)
-    return parallel_map(
-        worker, [task], processes=1, initializer=_init_worker, initargs=(ctx,)
-    )[0]
+    return parallel_map(worker, [task], processes=1, initializer=_init_worker, initargs=(ctx,))[0]
+
+
+class _LaneQueue:
+    """Two-lane strict-priority FIFO with a bulk starvation escape.
+
+    ``interactive`` dequeues first whenever both lanes hold jobs, but each
+    such dequeue that skips a waiting bulk job increments a starvation
+    counter; once it reaches ``bulk_escape_every`` the next dequeue takes
+    one bulk job and resets the counter.  The invariant (property-tested in
+    ``tests/test_service_journal.py``): while an interactive job waits, at
+    most ``1 + interactive_dequeues_during_wait // bulk_escape_every`` bulk
+    jobs are dequeued -- and symmetrically, a waiting bulk job is never
+    skipped more than ``bulk_escape_every`` times in a row.
+    """
+
+    def __init__(self, bulk_escape_every: int = DEFAULT_BULK_ESCAPE_EVERY) -> None:
+        if bulk_escape_every < 1:
+            raise ValueError("bulk_escape_every must be at least 1")
+        self.bulk_escape_every = bulk_escape_every
+        self._cv = threading.Condition()
+        self._lanes: dict[str, deque] = {lane: deque() for lane in LANES}
+        self._sentinels = 0
+        self._starve = 0
+
+    def put(self, job: "Job") -> None:
+        """Enqueue one job on its lane."""
+        with self._cv:
+            self._lanes[job.lane].append(job)
+            self._cv.notify()
+
+    def put_sentinel(self) -> None:
+        """Enqueue one shutdown sentinel (dequeued only once jobs drain)."""
+        with self._cv:
+            self._sentinels += 1
+            self._cv.notify()
+
+    def depths(self) -> dict[str, int]:
+        """Queued-job count per lane (snapshot)."""
+        with self._cv:
+            return {lane: len(q) for lane, q in self._lanes.items()}
+
+    def depth(self) -> int:
+        """Total queued jobs across lanes (snapshot)."""
+        with self._cv:
+            return sum(len(q) for q in self._lanes.values())
+
+    def get(self) -> "Job | None":
+        """Dequeue the next job by lane policy; ``None`` means shut down."""
+        with self._cv:
+            while True:
+                interactive = self._lanes["interactive"]
+                bulk = self._lanes["bulk"]
+                if interactive and bulk:
+                    if self._starve >= self.bulk_escape_every:
+                        self._starve = 0
+                        return bulk.popleft()
+                    self._starve += 1
+                    return interactive.popleft()
+                if interactive:
+                    # No bulk job is waiting, so nothing is being starved.
+                    self._starve = 0
+                    return interactive.popleft()
+                if bulk:
+                    self._starve = 0
+                    return bulk.popleft()
+                if self._sentinels:
+                    self._sentinels -= 1
+                    return None
+                self._cv.wait()
 
 
 @dataclass
@@ -79,6 +207,7 @@ class Job:
     job_id: str
     spec: JobSpec
     item: Scenario | Workload
+    lane: str = DEFAULT_LANE
     status: str = "queued"
     submitted_s: float = 0.0
     started_s: float | None = None
@@ -90,6 +219,8 @@ class Job:
     submissions: int = 1
     #: True when the result was served from the persistent store.
     cache_hit: bool = False
+    #: True when the job was re-submitted from the journal on boot.
+    recovered: bool = False
     finished: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -105,8 +236,10 @@ class Job:
             "ncores": self.spec.ncores,
             "name": self.spec.name,
             "manager": self.spec.manager.name or self.spec.manager.kind,
+            "lane": self.lane,
             "submissions": self.submissions,
             "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -121,18 +254,49 @@ class ReplayService:
     ``context_factory(ncores)`` builds the per-size experiment context
     (defaults to :func:`~repro.experiments.runner.get_context`, i.e. the
     shared ``.sim_cache`` database + results store); contexts are memoised
-    per size for the service's lifetime.  Use as a context manager or call
+    per size for the service's lifetime.
+
+    ``executor`` selects where replays run: ``"thread"`` (in the worker
+    thread, the default), ``"process"`` (persistent per-size process
+    pools; ``processes`` bounds each pool, defaulting to ``workers``), or
+    any pre-built executor object.  ``max_queue`` bounds the admission
+    queue (:class:`QueueFullError` on overflow); ``journal`` -- a
+    :class:`~repro.service.journal.JobJournal` or a directory path --
+    makes queued and in-flight jobs survive a crash (call
+    :meth:`recover` on boot).  Use as a context manager or call
     :meth:`close` to drain and join the workers.
     """
 
-    def __init__(self, context_factory=get_context, workers: int = 2) -> None:
+    def __init__(
+        self,
+        context_factory=get_context,
+        workers: int = 2,
+        *,
+        executor: str | object = "thread",
+        processes: int | None = None,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        bulk_escape_every: int = DEFAULT_BULK_ESCAPE_EVERY,
+        journal: JobJournal | str | None = None,
+        start_method: str | None = None,
+    ) -> None:
         if workers < 1:
             raise ValueError("service needs at least one worker")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
         self._context_factory = context_factory
         self._contexts: dict[int, ExperimentContext] = {}
         self._jobs: dict[str, Job] = {}
-        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._queue = _LaneQueue(bulk_escape_every=bulk_escape_every)
         self._lock = threading.Lock()
+        self.max_queue = max_queue
+        if isinstance(executor, str):
+            executor = make_executor(
+                executor,
+                processes=processes if processes is not None else workers,
+                start_method=start_method,
+            )
+        self.executor = executor
+        self.journal = JobJournal(journal) if isinstance(journal, str) else journal
         self.inflight = InflightRegistry()
         self.started_s = time.monotonic()
         # Counters (all under self._lock; read via metrics()).
@@ -140,11 +304,11 @@ class ReplayService:
         self.jobs_done = 0
         self.jobs_failed = 0
         self.dedup_hits = 0
-        self._latencies_s: list[float] = []
+        self.jobs_rejected = 0
+        self.jobs_recovered = 0
+        self._latencies_s: dict[str, list[float]] = {lane: [] for lane in LANES}
         self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"replay-worker-{i}", daemon=True
-            )
+            threading.Thread(target=self._worker_loop, name=f"replay-worker-{i}", daemon=True)
             for i in range(workers)
         ]
         for t in self._workers:
@@ -158,11 +322,14 @@ class ReplayService:
         self.close()
 
     def close(self) -> None:
-        """Stop accepting work and join the worker threads."""
+        """Drain queued jobs, join the workers, release executor/journal."""
         for _ in self._workers:
-            self._queue.put(None)
+            self._queue.put_sentinel()
         for t in self._workers:
             t.join(timeout=60.0)
+        self.executor.close()
+        if self.journal is not None:
+            self.journal.close()
 
     # ---- contexts -----------------------------------------------------------
     def ctx_for(self, ncores: int) -> ExperimentContext:
@@ -175,24 +342,57 @@ class ReplayService:
         # and must not stall submits for other (already-built) sizes.
         ctx = self._context_factory(ncores)
         with self._lock:
-            return self._contexts.setdefault(ncores, ctx)
+            ctx = self._contexts.setdefault(ncores, ctx)
+        if self.journal is not None and ctx.results_store is not None:
+            # Journal hook: record at-rest persistence of each run, so the
+            # log carries the full durability trail (results written by
+            # process-pool workers land via their own store clone and are
+            # journalled by the owning service thread on publish instead).
+            ctx.results_store.on_put = self._journal_stored
+        return ctx
+
+    def _journal_stored(self, key: str) -> None:
+        if self.journal is not None:
+            self.journal.append("stored", key)
 
     # ---- submission ---------------------------------------------------------
-    def submit(self, request: JobSpec | dict) -> Job:
+    def submit(self, request: JobSpec | dict, lane: str | None = None) -> Job:
         """Register one replay request; identical requests share one job.
 
         Accepts a parsed :class:`JobSpec` or a raw JSON mapping (the wire
-        form).  Returns the job -- possibly an existing one: a request
-        whose content hash matches a queued, running or finished job
-        coalesces onto it (``submissions`` increments).  A previously
+        form; an optional ``"lane"`` key routes it to the ``interactive``
+        or ``bulk`` lane).  Returns the job -- possibly an existing one: a
+        request whose content hash matches a queued, running or finished
+        job coalesces onto it (``submissions`` increments).  A previously
         *failed* job is retried with a fresh job record under the same id.
+        Raises :class:`QueueFullError` when the admission queue is at
+        capacity.
         """
-        return self.submit_info(request)[0]
+        return self.submit_info(request, lane=lane)[0]
 
-    def submit_info(self, request: JobSpec | dict) -> tuple[Job, bool]:
+    def submit_info(
+        self,
+        request: JobSpec | dict,
+        lane: str | None = None,
+        *,
+        _admitted: bool = False,
+        _recovered: bool = False,
+    ) -> tuple[Job, bool]:
         """Like :meth:`submit`, also reporting whether the request coalesced
         onto an existing job (the HTTP layer surfaces this as ``deduped``)."""
-        spec = request if isinstance(request, JobSpec) else job_spec_from_json(request)
+        if isinstance(request, JobSpec):
+            spec = request
+        else:
+            if isinstance(request, dict):
+                request = dict(request)
+                body_lane = request.pop("lane", None)
+                if lane is None:
+                    lane = body_lane
+            spec = job_spec_from_json(request)
+        if lane is None:
+            lane = DEFAULT_LANE
+        if lane not in LANES:
+            raise ValueError(f"unknown lane {lane!r}; known: {', '.join(LANES)}")
         ctx = self.ctx_for(spec.ncores)
         item = build_item(spec, ctx.db.benchmarks())
         key = job_key(spec, ctx)
@@ -202,17 +402,72 @@ class ReplayService:
                 job.submissions += 1
                 self.dedup_hits += 1
                 return job, True
+            if not _admitted:
+                depth = self._queue.depth()
+                if depth >= self.max_queue:
+                    self.jobs_rejected += 1
+                    raise QueueFullError(depth, self.max_queue, self._retry_after_s(depth))
             job = Job(
-                job_id=key, spec=spec, item=item, submitted_s=time.monotonic()
+                job_id=key,
+                spec=spec,
+                item=item,
+                lane=lane,
+                submitted_s=time.monotonic(),
+                recovered=_recovered,
             )
             self._jobs[key] = job
+        # Journal before enqueue: once a client is told "accepted", the job
+        # must survive a crash -- the reverse order could lose it.
+        if self.journal is not None:
+            self.journal.append("submitted", key, lane=lane, spec=spec.to_json())
         self._queue.put(job)
         return job, False
+
+    def _retry_after_s(self, depth: int) -> float:
+        """Estimated seconds until the queue frees a slot (>= 1)."""
+        latencies = [v for vals in self._latencies_s.values() for v in vals[-32:]]
+        per_job = (sum(latencies) / len(latencies)) if latencies else 2.0
+        return max(1.0, math.ceil(per_job * (depth + 1) / len(self._workers)))
 
     def get_job(self, job_id: str) -> Job | None:
         """Look one job up by id (None when unknown)."""
         with self._lock:
             return self._jobs.get(job_id)
+
+    # ---- recovery -----------------------------------------------------------
+    def recover(self) -> list[Job]:
+        """Re-submit every unsettled journalled job (call once, on boot,
+        before external submissions start).
+
+        Replays the write-ahead log, compacts it down to the pending
+        records (atomic rewrite), then re-submits each pending spec
+        through the normal path -- bypassing admission control, since
+        journalled jobs were already admitted once.  A pending record
+        whose spec no longer validates, or whose content hash no longer
+        matches (the database or replay semantics changed across the
+        restart), is settled as ``failed`` in the journal so it cannot be
+        re-recovered forever.  Returns the recovered jobs.
+        """
+        if self.journal is None:
+            return []
+        pending = self.journal.pending()
+        self.journal.compact(pending)
+        recovered: list[Job] = []
+        for old_id, record in pending.items():
+            body = dict(record.spec)
+            try:
+                job, _ = self.submit_info(body, lane=record.lane, _admitted=True, _recovered=True)
+            except ValueError as exc:
+                self.journal.append("failed", old_id, error=f"unrecoverable journalled job: {exc}")
+                continue
+            if job.job_id != old_id:
+                # The request re-keyed (code/database change across the
+                # restart): settle the stale id so it is never re-recovered.
+                self.journal.append("failed", old_id, error=f"re-keyed on recovery to {job.job_id}")
+            recovered.append(job)
+        with self._lock:
+            self.jobs_recovered += len(recovered)
+        return recovered
 
     # ---- execution ----------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -225,6 +480,8 @@ class ReplayService:
     def _run_job(self, job: Job) -> None:
         job.status = "running"
         job.started_s = time.monotonic()
+        if self.journal is not None:
+            self.journal.append("claimed", job.job_id)
         ctx = self.ctx_for(job.spec.ncores)
         owner, ticket = self.inflight.claim(job.job_id)
         try:
@@ -243,10 +500,10 @@ class ReplayService:
                 if result is not None:
                     job.cache_hit = True
                 else:
-                    result = _execute_replay(ctx, job.item, job.spec.manager)
+                    result = self.executor.run(ctx, job.job_id, job.item, job.spec.manager)
                     with self._lock:
                         self.simulations += 1
-                    if store is not None:
+                    if store is not None and not self.executor.stores_results:
                         store.put(job.job_id, result)
                 self.inflight.publish(ticket, result)
         except Exception as exc:
@@ -257,6 +514,8 @@ class ReplayService:
             job.finished_s = time.monotonic()
             with self._lock:
                 self.jobs_failed += 1
+            if self.journal is not None:
+                self.journal.append("failed", job.job_id, error=job.error)
             job.finished.set()
             return
         job.result = result
@@ -265,7 +524,9 @@ class ReplayService:
         job.finished_s = time.monotonic()
         with self._lock:
             self.jobs_done += 1
-            self._latencies_s.append(job.finished_s - job.submitted_s)
+            self._latencies_s[job.lane].append(job.finished_s - job.submitted_s)
+        if self.journal is not None:
+            self.journal.append("published", job.job_id, result_hash=job.result_hash)
         job.finished.set()
 
     # ---- metrics ------------------------------------------------------------
@@ -279,7 +540,7 @@ class ReplayService:
     def metrics(self) -> dict:
         """One snapshot of the service's operational counters."""
         with self._lock:
-            latencies = sorted(self._latencies_s)
+            per_lane = {lane: sorted(vals) for lane, vals in self._latencies_s.items()}
             stores = [
                 ctx.results_store
                 for ctx in self._contexts.values()
@@ -291,16 +552,25 @@ class ReplayService:
             done, failed = self.jobs_done, self.jobs_failed
             dedup = self.dedup_hits
             sims = self.simulations
+            rejected = self.jobs_rejected
+            recovered = self.jobs_recovered
+        latencies = sorted(v for vals in per_lane.values() for v in vals)
+        depths = self._queue.depths()
         uptime_s = max(time.monotonic() - self.started_s, 1e-9)
         lookups = hits + misses
-        return {
+        out = {
             "uptime_s": uptime_s,
             "workers": len(self._workers),
-            "queue_depth": self._queue.qsize(),
+            "executor_processes": getattr(self.executor, "processes", 0),
+            "queue_depth": sum(depths.values()),
+            "queue_capacity": self.max_queue,
             "jobs_done": done,
             "jobs_failed": failed,
+            "jobs_rejected": rejected,
+            "jobs_recovered": recovered,
             "jobs_deduped": dedup,
             "jobs_inflight_coalesced": self.inflight.coalesced,
+            "journal_appends": self.journal.appends if self.journal is not None else 0,
             "simulations": sims,
             "store_hits": hits,
             "store_misses": misses,
@@ -310,3 +580,8 @@ class ReplayService:
             "job_latency_p50_s": self._percentile(latencies, 0.50),
             "job_latency_p95_s": self._percentile(latencies, 0.95),
         }
+        for lane in LANES:
+            out[f"queue_depth_{lane}"] = depths[lane]
+            out[f"lane_latency_{lane}_p50_s"] = self._percentile(per_lane[lane], 0.50)
+            out[f"lane_latency_{lane}_p95_s"] = self._percentile(per_lane[lane], 0.95)
+        return out

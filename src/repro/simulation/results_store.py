@@ -121,6 +121,16 @@ class ResultsStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: Optional ``callback(key)`` fired after each successful put; the
+        #: replay service's job journal hooks this to record at-rest
+        #: persistence.  Not pickled (see ``__getstate__``): a store shipped
+        #: to a worker process carries its path, never the parent's hook.
+        self.on_put = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["on_put"] = None
+        return state
 
     def path(self, key: str) -> str:
         return os.path.join(self.root, f"run_{key}.pkl")
@@ -169,6 +179,8 @@ class ResultsStore:
                 pass
             raise
         self.puts += 1
+        if self.on_put is not None:
+            self.on_put(key)
 
 
 class InflightRegistry:

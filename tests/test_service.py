@@ -379,3 +379,64 @@ class TestHTTPEndpoints:
             assert got["core"] == want.core
             assert got["duration_ns"] == want.duration_ns
             assert got["baseline_ns"] == want.baseline_ns
+
+
+class TestBackpressureHTTP:
+    """Admission control over the wire: full queues answer 429 + Retry-After."""
+
+    def test_full_queue_429_with_retry_after(self, system4, db4, tmp_path, monkeypatch):
+        import repro.service.pool as pool_mod
+
+        started, release = threading.Event(), threading.Event()
+
+        def blocked(ctx, item, manager):
+            started.set()
+            release.wait(120)
+            raise RuntimeError("released without result")
+
+        monkeypatch.setattr(pool_mod, "_execute_replay", blocked)
+        svc = ReplayService(
+            context_factory=_factory(system4, db4, tmp_path), workers=1, max_queue=1
+        )
+        server = make_server(svc)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            status, first = _post(base, _s1_request(name="bp-0"))
+            assert status == 202 and first["lane"] == "interactive"
+            assert started.wait(120), "worker never claimed the first job"
+            status, _ = _post(base, dict(_s1_request(name="bp-1"), lane="bulk"))
+            assert status == 202
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _post(base, _s1_request(name="bp-2"))
+            assert err.value.code == 429
+            retry_after = err.value.headers.get("Retry-After")
+            assert retry_after is not None and int(retry_after) >= 1
+            body = json.load(err.value)
+            assert body["queue_capacity"] == 1 and body["retry_after_s"] >= 1
+            # Identical resubmission coalesces: no new work, always admitted.
+            status, again = _post(base, _s1_request(name="bp-0"))
+            assert status == 200 and again["deduped"] is True
+            with urllib.request.urlopen(base + "/metrics", timeout=60) as resp:
+                text = resp.read().decode()
+            assert "\nrepro_service_jobs_rejected 1" in "\n" + text
+            assert "repro_service_queue_depth_bulk" in text
+        finally:
+            release.set()
+            server.shutdown()
+            server.server_close()
+            svc.close()
+
+    def test_lane_routes_from_request_body(self, http_base, service):
+        status, out = _post(http_base, dict(_s1_request(name="lane-bulk"), lane="bulk"))
+        assert status == 202 and out["lane"] == "bulk"
+        job = service.get_job(out["job_id"])
+        assert job.lane == "bulk" and job.wait(120)
+        _, polled = _get(http_base, f"/jobs/{out['job_id']}")
+        assert polled["lane"] == "bulk"
+
+    def test_unknown_lane_rejected(self, http_base):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(http_base, dict(_s1_request(), lane="premium"))
+        assert err.value.code == 400

@@ -384,3 +384,60 @@ class TestInflightHook:
             assert_bit_identical(job.result, reference)
         finally:
             service.close()
+
+
+class TestCrossExecutorStorm:
+    """Process-pool and thread-pool executors are byte-identical on the storm.
+
+    The acceptance criterion for the hardened runtime: the same 16-job
+    S1-S7 storm, run cold through the thread executor and again cold
+    through the process-pool executor (separate stores, so every job truly
+    simulates in a worker process), produces identical content hashes and
+    bit-identical results -- parallelism must never change the numbers.
+    """
+
+    def test_process_pool_matches_thread_pool(
+        self, system4, db4, system16, db16, tmp_path
+    ):
+        systems = {4: (system4, db4), 16: (system16, db16)}
+
+        def make_factory(subdir):
+            def factory(ncores):
+                system, db = systems[ncores]
+                return ExperimentContext(
+                    system=system, db=db, max_slices=MAX_SLICES,
+                    results_store=ResultsStore(str(tmp_path / subdir)),
+                )
+
+            return factory
+
+        bodies = _storm_bodies()
+        thread_runs = {}
+        service = ReplayService(context_factory=make_factory("store-thread"), workers=4)
+        try:
+            jobs = [service.submit(body) for body in bodies]
+            for job in jobs:
+                assert job.wait(WAIT_S), f"thread job {job.spec.name} never settled"
+                assert job.status == "done", job.error
+                thread_runs[job.spec.name] = job
+            assert service.simulations == 16
+        finally:
+            service.close()
+
+        service = ReplayService(
+            context_factory=make_factory("store-process"), workers=2,
+            executor="process", processes=2,
+        )
+        try:
+            jobs = [service.submit(body) for body in bodies]
+            for job in jobs:
+                assert job.wait(WAIT_S), f"process job {job.spec.name} never settled"
+                assert job.status == "done", job.error
+                reference = thread_runs[job.spec.name]
+                assert job.job_id == reference.job_id
+                assert job.result_hash == reference.result_hash, job.spec.name
+                assert_bit_identical(job.result, reference.result)
+            # Cold store: every job genuinely ran inside the process pool.
+            assert service.simulations == 16
+        finally:
+            service.close()

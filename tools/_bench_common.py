@@ -26,8 +26,13 @@ import time
 #: The test suite's benchmark subset: all four Paper I categories and all
 #: four Paper II types, small enough to build fast.
 BENCHMARK_SUBSET = [
-    "mcf_like", "soplex_like", "libquantum_like", "lbm_like",
-    "astar_like", "povray_like", "namd_like",
+    "mcf_like",
+    "soplex_like",
+    "libquantum_like",
+    "lbm_like",
+    "astar_like",
+    "povray_like",
+    "namd_like",
 ]
 
 ARTIFACT_DIR = os.path.normpath(

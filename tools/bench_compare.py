@@ -238,9 +238,7 @@ def main(argv: list[str] | None = None) -> int:
         with open(path, encoding="utf-8") as fh:
             fresh = json.load(fh)
         notes: list[str] = []
-        problems = compare_reports(
-            base, fresh, args.threshold, args.min_delta_s, notes=notes
-        )
+        problems = compare_reports(base, fresh, args.threshold, args.min_delta_s, notes=notes)
         if problems:
             failed = True
             print(f"FAIL {name}:")

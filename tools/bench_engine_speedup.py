@@ -51,8 +51,9 @@ from repro.simulation.rma_sim import RMASimulator  # noqa: E402
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ncores", type=int, default=8)
-    parser.add_argument("--horizon", type=int, default=512,
-                        help="scenario horizon in intervals (total work)")
+    parser.add_argument(
+        "--horizon", type=int, default=512, help="scenario horizon in intervals (total work)"
+    )
     parser.add_argument("--max-slices", type=int, default=24)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
@@ -60,8 +61,12 @@ def main(argv: list[str] | None = None) -> int:
 
     ctx = get_context(args.ncores, names=BENCHMARK_SUBSET)
     scenario = poisson_arrivals(
-        f"bench-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
-        rate_per_interval=0.25, horizon_intervals=args.horizon, seed=args.seed,
+        f"bench-{args.ncores}core",
+        args.ncores,
+        BENCHMARK_SUBSET,
+        rate_per_interval=0.25,
+        horizon_intervals=args.horizon,
+        seed=args.seed,
     )
 
     managers = {"baseline": StaticBaselineManager, "rm2-combined": rm2_combined}
@@ -79,15 +84,25 @@ def main(argv: list[str] | None = None) -> int:
     identical = True
     for name, factory in managers.items():
         legacy_s, legacy_run = time_best_of(
-            lambda: LegacyRMASimulator(ctx.system, ctx.db, scenario.workload,
-                                       factory(), max_slices=args.max_slices,
-                                       scenario=scenario).run(),
+            lambda: LegacyRMASimulator(
+                ctx.system,
+                ctx.db,
+                scenario.workload,
+                factory(),
+                max_slices=args.max_slices,
+                scenario=scenario,
+            ).run(),
             args.repeats,
         )
         engine_s, engine_run = time_best_of(
-            lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
-                                 factory(), max_slices=args.max_slices,
-                                 scenario=scenario).run(),
+            lambda: RMASimulator(
+                ctx.system,
+                ctx.db,
+                scenario.workload,
+                factory(),
+                max_slices=args.max_slices,
+                scenario=scenario,
+            ).run(),
             args.repeats,
         )
         same = runs_bit_identical(legacy_run, engine_run)
@@ -99,8 +114,10 @@ def main(argv: list[str] | None = None) -> int:
             "bit_identical": same,
             "result_hash": run_result_hash(engine_run),
         }
-        print(f"{name:14s} legacy {legacy_s:7.3f}s  engine {engine_s:7.3f}s  "
-              f"speedup {legacy_s / engine_s:5.2f}x  bit-identical={same}")
+        print(
+            f"{name:14s} legacy {legacy_s:7.3f}s  engine {engine_s:7.3f}s  "
+            f"speedup {legacy_s / engine_s:5.2f}x  bit-identical={same}"
+        )
     report["bit_identical"] = identical
 
     write_bench_artifact("engine_speedup", report)

@@ -62,19 +62,23 @@ MANAGERS = {
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ncores", type=int, default=8)
-    parser.add_argument("--horizon", type=int, default=512,
-                        help="scenario horizon in intervals (total work)")
+    parser.add_argument(
+        "--horizon", type=int, default=512, help="scenario horizon in intervals (total work)"
+    )
     parser.add_argument("--max-slices", type=int, default=24)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--managers", nargs="*", default=list(MANAGERS),
-                        choices=list(MANAGERS))
+    parser.add_argument("--managers", nargs="*", default=list(MANAGERS), choices=list(MANAGERS))
     args = parser.parse_args(argv)
 
     ctx = get_context(args.ncores, names=BENCHMARK_SUBSET)
     scenario = poisson_arrivals(
-        f"mgr-bench-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
-        rate_per_interval=0.25, horizon_intervals=args.horizon, seed=args.seed,
+        f"mgr-bench-{args.ncores}core",
+        args.ncores,
+        BENCHMARK_SUBSET,
+        rate_per_interval=0.25,
+        horizon_intervals=args.horizon,
+        seed=args.seed,
     )
 
     report: dict = {
@@ -92,15 +96,25 @@ def main(argv: list[str] | None = None) -> int:
     for name in args.managers:
         factory = MANAGERS[name]
         ref_s, ref_run = time_best_of(
-            lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
-                                 factory(incremental=False),
-                                 max_slices=args.max_slices, scenario=scenario).run(),
+            lambda: RMASimulator(
+                ctx.system,
+                ctx.db,
+                scenario.workload,
+                factory(incremental=False),
+                max_slices=args.max_slices,
+                scenario=scenario,
+            ).run(),
             args.repeats,
         )
         inc_s, inc_run = time_best_of(
-            lambda: RMASimulator(ctx.system, ctx.db, scenario.workload,
-                                 factory(incremental=True),
-                                 max_slices=args.max_slices, scenario=scenario).run(),
+            lambda: RMASimulator(
+                ctx.system,
+                ctx.db,
+                scenario.workload,
+                factory(incremental=True),
+                max_slices=args.max_slices,
+                scenario=scenario,
+            ).run(),
             args.repeats,
         )
         same = runs_bit_identical(ref_run, inc_run)
@@ -113,8 +127,10 @@ def main(argv: list[str] | None = None) -> int:
             "result_hash": run_result_hash(inc_run),
             "rma_invocations": int(inc_run.rma_invocations),
         }
-        print(f"{name:18s} reference {ref_s:7.3f}s  incremental {inc_s:7.3f}s  "
-              f"speedup {ref_s / inc_s:5.2f}x  bit-identical={same}")
+        print(
+            f"{name:18s} reference {ref_s:7.3f}s  incremental {inc_s:7.3f}s  "
+            f"speedup {ref_s / inc_s:5.2f}x  bit-identical={same}"
+        )
     report["bit_identical"] = identical
 
     write_bench_artifact("manager_overhead", report)

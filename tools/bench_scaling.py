@@ -65,8 +65,12 @@ def _replay(ctx, scenario, manager_factory, max_slices, repeats):
 
     def make():
         last[0] = sim = RMASimulator(
-            ctx.system, ctx.db, scenario.workload, manager_factory(),
-            max_slices=max_slices, scenario=scenario,
+            ctx.system,
+            ctx.db,
+            scenario.workload,
+            manager_factory(),
+            max_slices=max_slices,
+            scenario=scenario,
         )
         return sim.run()
 
@@ -92,8 +96,12 @@ def _stage_split(ctx, scenario, manager_factory, max_slices) -> dict:
     os.environ["REPRO_PROFILE"] = "1"
     try:
         sim = RMASimulator(
-            ctx.system, ctx.db, scenario.workload, manager_factory(),
-            max_slices=max_slices, scenario=scenario,
+            ctx.system,
+            ctx.db,
+            scenario.workload,
+            manager_factory(),
+            max_slices=max_slices,
+            scenario=scenario,
         )
         sim.run()
         breakdown = sim.stage_timer.breakdown()
@@ -109,19 +117,26 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--ncores", type=int, default=64)
     parser.add_argument("--cluster-size", type=int, default=8)
-    parser.add_argument("--horizon", type=int, default=512,
-                        help="scenario horizon in intervals (total work)")
+    parser.add_argument(
+        "--horizon", type=int, default=512, help="scenario horizon in intervals (total work)"
+    )
     parser.add_argument("--max-slices", type=int, default=12)
     # Best-of-3: replay walls at this scale sit near the machine-noise
     # floor, and one extra repeat keeps the gated minima stable.
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--equivalence-ncores", type=int, default=16,
-                        help="system size of the single-cluster identity check")
-    parser.add_argument("--s7-ncores", type=int, default=128,
-                        help="system size of the S7 scaling datapoint")
-    parser.add_argument("--s7-xl-ncores", type=int, default=256,
-                        help="system size of the extra-large S7 datapoint")
+    parser.add_argument(
+        "--equivalence-ncores",
+        type=int,
+        default=16,
+        help="system size of the single-cluster identity check",
+    )
+    parser.add_argument(
+        "--s7-ncores", type=int, default=128, help="system size of the S7 scaling datapoint"
+    )
+    parser.add_argument(
+        "--s7-xl-ncores", type=int, default=256, help="system size of the extra-large S7 datapoint"
+    )
     args = parser.parse_args(argv)
 
     report: dict = {
@@ -139,20 +154,26 @@ def main(argv: list[str] | None = None) -> int:
     # ---- the many-core point: 64-core S5 under RM2-clustered ---------------
     ctx = get_context(args.ncores, names=BENCHMARK_SUBSET)
     scenario = cluster_churn(
-        f"scaling-{args.ncores}core", args.ncores, BENCHMARK_SUBSET,
-        cluster_size=args.cluster_size, cycles=max(4, args.ncores // 8),
-        horizon_intervals=args.horizon, seed=args.seed,
+        f"scaling-{args.ncores}core",
+        args.ncores,
+        BENCHMARK_SUBSET,
+        cluster_size=args.cluster_size,
+        cycles=max(4, args.ncores // 8),
+        horizon_intervals=args.horizon,
+        seed=args.seed,
     )
     clus_s, clus_run, clus_sim = _replay(
-        ctx, scenario, lambda: rm2_combined(cluster_size=args.cluster_size),
-        args.max_slices, args.repeats,
+        ctx,
+        scenario,
+        lambda: rm2_combined(cluster_size=args.cluster_size),
+        args.max_slices,
+        args.repeats,
     )
     flat_s, flat_run, _ = _replay(
-        ctx, scenario, lambda: rm2_combined(incremental=True),
-        args.max_slices, args.repeats,
+        ctx, scenario, lambda: rm2_combined(incremental=True), args.max_slices, args.repeats
     )
     base_s, base_run, base_sim = _replay(
-        ctx, scenario, StaticBaselineManager, args.max_slices, args.repeats,
+        ctx, scenario, StaticBaselineManager, args.max_slices, args.repeats
     )
     gap_pct = (
         100.0 * (clus_run.total_energy_nj - flat_run.total_energy_nj)
@@ -191,20 +212,24 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     # ---- the scaling ladder: 128- and 256-core S7 under RM2-clustered ------
-    for s7_n, s7_key in ((args.s7_ncores, "s7_128core"),
-                         (args.s7_xl_ncores, "s7_256core")):
+    for s7_n, s7_key in ((args.s7_ncores, "s7_128core"), (args.s7_xl_ncores, "s7_256core")):
         s7_ctx = get_context(s7_n, names=BENCHMARK_SUBSET)
         s7_scenario = cluster_churn(
-            f"s7-{s7_n}core", s7_n, BENCHMARK_SUBSET,
-            cluster_size=args.cluster_size, cycles=max(4, s7_n // 8),
-            idle_intervals=1.5, horizon_intervals=args.horizon, seed=args.seed,
+            f"s7-{s7_n}core",
+            s7_n,
+            BENCHMARK_SUBSET,
+            cluster_size=args.cluster_size,
+            cycles=max(4, s7_n // 8),
+            idle_intervals=1.5,
+            horizon_intervals=args.horizon,
+            seed=args.seed,
         )
         s7_factory = lambda: rm2_combined(cluster_size=args.cluster_size)  # noqa: E731
         s7_s, s7_run, s7_sim = _replay(
-            s7_ctx, s7_scenario, s7_factory, args.max_slices, args.repeats,
+            s7_ctx, s7_scenario, s7_factory, args.max_slices, args.repeats
         )
         s7_base_s, _, s7_base_sim = _replay(
-            s7_ctx, s7_scenario, StaticBaselineManager, args.max_slices, args.repeats,
+            s7_ctx, s7_scenario, StaticBaselineManager, args.max_slices, args.repeats
         )
         report[s7_key] = {
             "ncores": s7_n,
@@ -219,8 +244,7 @@ def main(argv: list[str] | None = None) -> int:
             ),
             "result_hash": run_result_hash(s7_run),
             "rma_invocations": int(s7_run.rma_invocations),
-            "stage_split": _stage_split(s7_ctx, s7_scenario, s7_factory,
-                                        args.max_slices),
+            "stage_split": _stage_split(s7_ctx, s7_scenario, s7_factory, args.max_slices),
         }
         print(
             f"{s7_n}-core S7: clustered {s7_s:6.3f}s  baseline {s7_base_s:6.3f}s  "
@@ -231,17 +255,19 @@ def main(argv: list[str] | None = None) -> int:
     eq_n = args.equivalence_ncores
     eq_ctx = get_context(eq_n, names=BENCHMARK_SUBSET)
     eq_scenario = cluster_churn(
-        f"scaling-eq-{eq_n}core", eq_n, BENCHMARK_SUBSET,
-        cluster_size=max(2, eq_n // 4), cycles=4,
-        horizon_intervals=8 * eq_n, seed=args.seed,
+        f"scaling-eq-{eq_n}core",
+        eq_n,
+        BENCHMARK_SUBSET,
+        cluster_size=max(2, eq_n // 4),
+        cycles=4,
+        horizon_intervals=8 * eq_n,
+        seed=args.seed,
     )
     _, one_run, _ = _replay(
-        eq_ctx, eq_scenario, lambda: rm2_combined(cluster_size=eq_n),
-        args.max_slices, 1,
+        eq_ctx, eq_scenario, lambda: rm2_combined(cluster_size=eq_n), args.max_slices, 1
     )
     _, eq_flat_run, _ = _replay(
-        eq_ctx, eq_scenario, lambda: rm2_combined(incremental=True),
-        args.max_slices, 1,
+        eq_ctx, eq_scenario, lambda: rm2_combined(incremental=True), args.max_slices, 1
     )
     identical = runs_bit_identical(one_run, eq_flat_run)
     report["equivalence"] = {

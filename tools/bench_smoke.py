@@ -63,19 +63,21 @@ def main(argv: list[str] | None = None) -> int:
     # so results persisted by earlier runs (the shared cache_dir default)
     # cannot serve it, while the warm pass still exercises store reads.
     if ctx.results_store is not None:
-        ctx.results_store = ResultsStore(
-            tempfile.mkdtemp(prefix="bench_smoke_results_")
-        )
+        ctx.results_store = ResultsStore(tempfile.mkdtemp(prefix="bench_smoke_results_"))
     store = ctx.results_store
     workloads = [
-        Workload(name="smoke-a",
-                 apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like")),
-        Workload(name="smoke-b",
-                 apps=("astar_like", "lbm_like", "namd_like", "mcf_like")),
+        Workload(
+            name="smoke-a", apps=("mcf_like", "soplex_like", "libquantum_like", "povray_like")
+        ),
+        Workload(name="smoke-b", apps=("astar_like", "lbm_like", "namd_like", "mcf_like")),
     ]
     scenario = poisson_arrivals(
-        "smoke-s1", 4, BENCHMARK_SUBSET, rate_per_interval=0.25,
-        horizon_intervals=48, seed=0,
+        "smoke-s1",
+        4,
+        BENCHMARK_SUBSET,
+        rate_per_interval=0.25,
+        horizon_intervals=48,
+        seed=0,
     )
 
     report: dict = {
@@ -113,8 +115,10 @@ def main(argv: list[str] | None = None) -> int:
             "warm_store_hits": (store.hits if store else 0) - warm_hits_before,
             "result_hash": _block_hash(cold_out),
         }
-        print(f"{label:15s} cold {cold_s:7.3f}s  warm {warm_s:7.3f}s  "
-              f"warm store hits {report[label]['warm_store_hits']}")
+        print(
+            f"{label:15s} cold {cold_s:7.3f}s  warm {warm_s:7.3f}s  "
+            f"warm store hits {report[label]['warm_store_hits']}"
+        )
 
     write_bench_artifact("smoke", report)
     return 0

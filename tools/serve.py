@@ -4,7 +4,9 @@
 Usage::
 
     PYTHONPATH=src python tools/serve.py [--host H] [--port P] [--workers N]
-        [--ncores N ...] [--cache-dir PATH] [--benchmarks a,b,...]
+        [--executor thread|process] [--processes N] [--max-queue N]
+        [--journal-dir PATH | --no-journal] [--ncores N ...]
+        [--cache-dir PATH] [--benchmarks a,b,...]
 
 ``--ncores`` pre-warms experiment contexts (database + results store) for
 those system sizes at startup; other sizes are built lazily on first
@@ -13,6 +15,14 @@ subset (the CI smoke uses the seven-app tier-1 set so it shares the test
 suite's cached database).  Fidelity knobs come from the environment
 (``REPRO_MAX_SLICES``, ``REPRO_ACCESSES_PER_SET``), exactly as for the
 experiment CLI.
+
+Durability is on by default: job transitions are journalled to
+``<cache-dir>/journal/`` and unsettled journalled jobs are re-submitted on
+boot (printed as ``recovered N jobs from journal``) before the listening
+socket opens.  ``--no-journal`` opts out.  ``--executor process`` replays
+jobs on a persistent process pool (``--processes`` per system size) instead
+of the worker threads; ``--max-queue`` bounds admission (full queues answer
+429 + ``Retry-After``).
 
 With ``--port 0`` the OS picks a free port; the bound address is printed
 as ``listening on http://host:port`` (stdout, flushed) so wrappers such as
@@ -28,7 +38,8 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.runner import DEFAULT_CACHE_DIR, get_context  # noqa: E402
-from repro.service import ReplayService, make_server  # noqa: E402
+from repro.service import EXECUTOR_KINDS, ReplayService, make_server  # noqa: E402
+from repro.service.pool import DEFAULT_MAX_QUEUE  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,12 +47,48 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8100)
     parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--ncores", type=int, nargs="*", default=[],
-                        help="system sizes to pre-warm contexts for")
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTOR_KINDS,
+        default="thread",
+        help="where replays run: in the worker threads, or on a persistent process pool",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="process-pool size per system ncores (default: --workers)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_MAX_QUEUE,
+        help="admission-queue bound; overflowing submissions get 429 + Retry-After",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="job-journal directory (default: <cache-dir>/journal)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable the durable job journal (jobs die with the process)",
+    )
+    parser.add_argument(
+        "--ncores",
+        type=int,
+        nargs="*",
+        default=[],
+        help="system sizes to pre-warm contexts for",
+    )
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
-    parser.add_argument("--benchmarks", default=None,
-                        help="comma-separated benchmark subset for the "
-                             "simulation database (default: full catalogue)")
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset for the "
+        "simulation database (default: full catalogue)",
+    )
     args = parser.parse_args(argv)
 
     names = args.benchmarks.split(",") if args.benchmarks else None
@@ -49,9 +96,23 @@ def main(argv: list[str] | None = None) -> int:
     def factory(ncores: int):
         return get_context(ncores, cache_dir=args.cache_dir, names=names)
 
-    service = ReplayService(context_factory=factory, workers=args.workers)
+    journal_dir = None
+    if not args.no_journal:
+        journal_dir = args.journal_dir or os.path.join(args.cache_dir, "journal")
+
+    service = ReplayService(
+        context_factory=factory,
+        workers=args.workers,
+        executor=args.executor,
+        processes=args.processes,
+        max_queue=args.max_queue,
+        journal=journal_dir,
+    )
     for ncores in args.ncores:
         service.ctx_for(ncores)
+    recovered = service.recover()
+    if recovered:
+        print(f"recovered {len(recovered)} jobs from journal", flush=True)
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"listening on http://{host}:{port}", flush=True)

@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""End-to-end service smoke: boot the server, replay S1 over HTTP, gate hashes.
+"""End-to-end service smoke: boot, replay, crash, recover, overload -- gated.
 
-The CI ``service-smoke`` job's driver.  It
+The CI ``service-smoke`` job's driver, in three stages (``--stage``):
 
-1. launches ``tools/serve.py`` as a subprocess on a free port
-   (``--port 0``) with the small-suite benchmark subset and bench-smoke
-   fidelity (``REPRO_MAX_SLICES=12``, ``REPRO_ACCESSES_PER_SET=400``),
-2. waits for ``/healthz``,
-3. submits the bench-smoke S1 scenario (rate 0.25, horizon 48, seed 0)
-   under the baseline and RM2 managers, polls each job to ``done``,
-4. resubmits one job and requires the response to be deduplicated,
-5. fetches the results and compares every ``result_hash`` against the
-   committed baseline
-   (``benchmarks/_artifacts/baselines/BENCH_service_smoke.json``),
-6. scrapes ``/metrics`` and sanity-checks the counters.
+* ``smoke`` -- launch ``tools/serve.py`` on a free port with the
+  small-suite benchmark subset and bench-smoke fidelity
+  (``REPRO_MAX_SLICES=12``, ``REPRO_ACCESSES_PER_SET=400``), submit the
+  bench-smoke S1 scenario under the baseline and RM2 managers, poll to
+  ``done``, require an identical resubmission to coalesce, and compare
+  every ``result_hash`` against the committed baseline
+  (``benchmarks/_artifacts/baselines/BENCH_service_smoke.json``).
+* ``restart`` -- submit a four-job burst to a journalled single-worker
+  server, **SIGKILL it mid-queue**, read the journal's unsettled set,
+  reboot the server on the same journal, and require every journalled job
+  to complete with hashes byte-identical to the baseline's
+  ``restart_jobs`` section (``--require-pending`` additionally demands
+  jobs really were pending at the kill, which CI's cold results store
+  guarantees).
+* ``backpressure`` -- boot with ``--max-queue 1 --workers 1``, wedge the
+  worker with a never-before-seen job, and require the overflow
+  submissions to draw ``429`` + an integral ``Retry-After`` header plus a
+  nonzero ``repro_service_jobs_rejected`` counter.
 
 Exit status is non-zero on any mismatch, so the job doubles as a semantic
 regression gate on the full HTTP path.  After an *intentional* change to
@@ -24,7 +31,9 @@ the simulation's numbers::
 
 Usage::
 
-    PYTHONPATH=src python tools/service_smoke.py [--cache-dir PATH] [--update]
+    PYTHONPATH=src python tools/service_smoke.py [--cache-dir PATH]
+        [--stage smoke|restart|backpressure|all] [--require-pending]
+        [--update]
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ import os
 import shutil
 import subprocess
 import sys
+import tempfile
 import time
 import urllib.error
 import urllib.request
@@ -47,6 +57,8 @@ from _bench_common import (  # noqa: E402
 )
 
 BASELINE_PATH = os.path.join(ARTIFACT_DIR, "baselines", "BENCH_service_smoke.json")
+
+STAGES = ("smoke", "restart", "backpressure")
 
 #: The smoke jobs: bench_smoke's S1 scenario block, as service requests.
 SMOKE_JOBS = {
@@ -66,6 +78,25 @@ SMOKE_JOBS = {
     },
 }
 
+
+def _restart_job(seed: int, manager: dict) -> dict:
+    return {
+        "shape": "S1",
+        "ncores": 4,
+        "name": "smoke-restart",
+        "params": {"rate_per_interval": 0.25, "horizon_intervals": 48, "seed": seed},
+        "manager": manager,
+    }
+
+
+#: The restart burst: four distinct S1 jobs, journalled then SIGKILL'd.
+RESTART_JOBS = {
+    "restart-s10-baseline": _restart_job(10, {"kind": "baseline", "name": "baseline"}),
+    "restart-s11-rm2": _restart_job(11, {"kind": "coordinated", "name": "rm2-combined"}),
+    "restart-s12-baseline": _restart_job(12, {"kind": "baseline", "name": "baseline"}),
+    "restart-s13-rm2": _restart_job(13, {"kind": "coordinated", "name": "rm2-combined"}),
+}
+
 STARTUP_TIMEOUT_S = 180.0
 JOB_TIMEOUT_S = 300.0
 
@@ -77,22 +108,43 @@ def _get_json(url: str, timeout: float = 30.0) -> dict:
 
 def _post_json(url: str, payload: dict, timeout: float = 30.0) -> dict:
     req = urllib.request.Request(
-        url, data=json.dumps(payload).encode(),
+        url,
+        data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"},
     )
     with urllib.request.urlopen(req, timeout=timeout) as resp:
         return json.load(resp)
 
 
-def _start_server(cache_dir: str | None) -> tuple[subprocess.Popen, str]:
+def _scrape_metrics(base: str) -> dict:
+    with urllib.request.urlopen(base + "/metrics", timeout=30.0) as resp:
+        text = resp.read().decode()
+    return {
+        line.split()[0]: float(line.split()[1])
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+
+
+def _start_server(
+    cache_dir: str | None, extra_args: list[str] | None = None, workers: int = 2
+) -> tuple[subprocess.Popen, str]:
     """Launch serve.py on a free port; return (process, base URL)."""
     cmd = [
-        sys.executable, os.path.join(os.path.dirname(__file__), "serve.py"),
-        "--port", "0", "--workers", "2", "--ncores", "4",
-        "--benchmarks", ",".join(BENCHMARK_SUBSET),
+        sys.executable,
+        os.path.join(os.path.dirname(__file__), "serve.py"),
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+        "--ncores",
+        "4",
+        "--benchmarks",
+        ",".join(BENCHMARK_SUBSET),
     ]
     if cache_dir:
         cmd += ["--cache-dir", cache_dir]
+    cmd += extra_args or []
     env = dict(os.environ)
     env.setdefault("REPRO_MAX_SLICES", "12")
     env.setdefault("REPRO_ACCESSES_PER_SET", "400")
@@ -105,9 +157,7 @@ def _start_server(cache_dir: str | None) -> tuple[subprocess.Popen, str]:
     while time.monotonic() < deadline:
         line = proc.stdout.readline()
         if not line:
-            raise SystemExit(
-                f"server exited during startup (rc={proc.poll()})"
-            )
+            raise SystemExit(f"server exited during startup (rc={proc.poll()})")
         print(f"[serve] {line.rstrip()}")
         if line.startswith("listening on "):
             base = line.split("listening on ", 1)[1].strip()
@@ -116,6 +166,14 @@ def _start_server(cache_dir: str | None) -> tuple[subprocess.Popen, str]:
         proc.kill()
         raise SystemExit("server never reported its address")
     return proc, base
+
+
+def _stop_server(proc: subprocess.Popen) -> None:
+    proc.terminate()
+    try:
+        proc.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        proc.kill()
 
 
 def _wait_healthy(base: str) -> None:
@@ -142,26 +200,15 @@ def _poll_done(base: str, job_id: str) -> dict:
     raise SystemExit(f"job {job_id} still not done after {JOB_TIMEOUT_S}s")
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cache-dir", default=None)
-    parser.add_argument(
-        "--update", action="store_true",
-        help="rewrite the committed baseline with the fresh hashes",
-    )
-    args = parser.parse_args(argv)
+# ---- stages ------------------------------------------------------------------
 
-    proc, base = _start_server(args.cache_dir)
-    failures = []
-    report: dict = {
-        "benchmark": "service_smoke",
-        "max_slices": os.environ.get("REPRO_MAX_SLICES", "12"),
-        "accesses_per_set": os.environ.get("REPRO_ACCESSES_PER_SET", "400"),
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "jobs": {},
-    }
+
+def _stage_smoke(cache_dir: str | None, report: dict, failures: list[str]) -> None:
+    """Happy path: submit, poll, fetch, dedup, metrics sanity."""
+    proc, base = _start_server(cache_dir, ["--no-journal"])
     try:
         _wait_healthy(base)
+        report["jobs"] = {}
         for label, body in SMOKE_JOBS.items():
             submitted = _post_json(base + "/jobs", body)
             _poll_done(base, submitted["job_id"])
@@ -171,63 +218,267 @@ def main(argv: list[str] | None = None) -> int:
                 "result_hash": result["result_hash"],
                 "total_energy_nj": result["total_energy_nj"],
             }
-            print(f"{label:20s} hash {result['result_hash']}  "
-                  f"energy {result['total_energy_nj']:.4g} nJ")
+            print(
+                f"{label:20s} hash {result['result_hash']}  "
+                f"energy {result['total_energy_nj']:.4g} nJ"
+            )
 
         # Resubmitting an identical request must coalesce, not re-run.
         again = _post_json(base + "/jobs", SMOKE_JOBS["smoke-s1-rm2"])
         if not again.get("deduped"):
             failures.append("resubmission was not deduplicated")
 
-        with urllib.request.urlopen(base + "/metrics", timeout=30.0) as resp:
-            metrics_text = resp.read().decode()
-        metrics = {
-            line.split()[0]: float(line.split()[1])
-            for line in metrics_text.splitlines()
-            if line and not line.startswith("#")
-        }
+        metrics = _scrape_metrics(base)
         report["metrics"] = {
             k: metrics[k]
-            for k in ("repro_service_jobs_done", "repro_service_simulations",
-                      "repro_service_jobs_deduped", "repro_service_queue_depth")
+            for k in (
+                "repro_service_jobs_done",
+                "repro_service_simulations",
+                "repro_service_jobs_deduped",
+                "repro_service_queue_depth",
+            )
         }
         if metrics["repro_service_jobs_done"] < len(SMOKE_JOBS):
             failures.append(f"jobs_done metric too low: {metrics}")
         if metrics["repro_service_jobs_deduped"] < 1:
             failures.append("dedup metric never incremented")
     finally:
-        proc.terminate()
+        _stop_server(proc)
+
+
+def _journal_pending_ids(journal_dir: str) -> set[str]:
+    """The unsettled job ids in a journal file (submitted, never settled)."""
+    path = os.path.join(journal_dir, "journal.jsonl")
+    pending: set[str] = set()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return pending
+    for line in raw.splitlines():
         try:
-            proc.wait(timeout=30)
-        except subprocess.TimeoutExpired:
-            proc.kill()
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn final line: the crash we are simulating
+        if record.get("event") == "submitted":
+            pending.add(record["job_id"])
+        elif record.get("event") in ("published", "failed"):
+            pending.discard(record["job_id"])
+    return pending
+
+
+def _stage_restart(
+    cache_dir: str | None, report: dict, failures: list[str], require_pending: bool
+) -> None:
+    """Durability: journalled burst -> SIGKILL mid-queue -> reboot -> drain."""
+    journal_dir = tempfile.mkdtemp(prefix="smoke-journal-")
+    journal_args = ["--journal-dir", journal_dir]
+    proc, base = _start_server(cache_dir, journal_args, workers=1)
+    submitted_ids: dict[str, str] = {}
+    try:
+        _wait_healthy(base)
+        for label, body in RESTART_JOBS.items():
+            submitted_ids[label] = _post_json(base + "/jobs", body)["job_id"]
+    except BaseException:
+        _stop_server(proc)
+        raise
+    # SIGKILL, not terminate: no cleanup, no drain -- the crash is real.
+    proc.kill()
+    proc.wait(timeout=30)
+
+    pending = _journal_pending_ids(journal_dir)
+    print(f"restart: {len(pending)}/{len(RESTART_JOBS)} jobs pending at SIGKILL")
+    if require_pending and not pending:
+        failures.append(
+            "restart stage found no pending jobs at SIGKILL; the burst "
+            "finished too fast to exercise recovery (is the results store warm?)"
+        )
+
+    proc, base = _start_server(cache_dir, journal_args, workers=1)
+    try:
+        _wait_healthy(base)
+        metrics = _scrape_metrics(base)
+        if metrics.get("repro_service_jobs_recovered", 0) != len(pending):
+            failures.append(
+                f"rebooted service recovered {metrics.get('repro_service_jobs_recovered')}"
+                f" jobs, journal held {len(pending)}"
+            )
+        report["restart_jobs"] = {}
+        for label, body in RESTART_JOBS.items():
+            # Resubmit every body: recovered jobs coalesce onto the journal's
+            # copy, already-finished ones are served from the at-rest store;
+            # either way the content-addressed id must not change.
+            job_id = _post_json(base + "/jobs", body)["job_id"]
+            if job_id != submitted_ids[label]:
+                failures.append(
+                    f"{label}: job id changed across restart "
+                    f"({submitted_ids[label]} -> {job_id})"
+                )
+            _poll_done(base, job_id)
+            result = _get_json(f"{base}/jobs/{job_id}/result")
+            report["restart_jobs"][label] = {
+                "job_id": job_id,
+                "result_hash": result["result_hash"],
+                "recovered": job_id in pending,
+            }
+            print(f"{label:22s} hash {result['result_hash']}  recovered={job_id in pending}")
+        report["restart_pending_at_kill"] = len(pending)
+        leftover = _journal_pending_ids(journal_dir)
+        if leftover:
+            failures.append(f"journal still holds unsettled jobs after drain: {leftover}")
+    finally:
+        _stop_server(proc)
+        shutil.rmtree(journal_dir, ignore_errors=True)
+
+
+def _stage_backpressure(cache_dir: str | None, report: dict, failures: list[str]) -> None:
+    """Admission: a full single-slot queue answers 429 + Retry-After."""
+    proc, base = _start_server(cache_dir, ["--no-journal", "--max-queue", "1"], workers=1)
+    try:
+        _wait_healthy(base)
+        # Wedge the worker with jobs no store has ever seen (per-run seed)
+        # on a long horizon (the vectorised replay clears short horizons in
+        # milliseconds), so overflow happens whether or not the results
+        # store is warm and however slow the submitting client is.
+        salt = int(time.time()) % 1_000_000 + 1_000
+        bodies = [
+            {
+                "shape": "S1",
+                "ncores": 4,
+                "name": "smoke-backpressure",
+                "params": {
+                    "rate_per_interval": 1.0,
+                    "horizon_intervals": 50_000,
+                    "seed": salt + i,
+                },
+                "manager": {"kind": "baseline", "name": "baseline"},
+            }
+            for i in range(6)
+        ]
+        accepted, rejected, retry_afters = 0, 0, []
+        for i, body in enumerate(bodies):
+            try:
+                _post_json(base + "/jobs", body)
+                accepted += 1
+            except urllib.error.HTTPError as err:
+                if err.code != 429:
+                    failures.append(f"overflow submission {i} drew {err.code}, not 429")
+                    continue
+                rejected += 1
+                retry_after = err.headers.get("Retry-After")
+                payload = json.load(err)
+                if retry_after is None or int(retry_after) < 1:
+                    failures.append(f"429 without a usable Retry-After: {retry_after!r}")
+                if payload.get("queue_capacity") != 1:
+                    failures.append(f"429 body lacks queue_capacity=1: {payload}")
+                retry_afters.append(retry_after)
+        print(
+            f"backpressure: {accepted} accepted, {rejected} rejected "
+            f"(Retry-After: {retry_afters})"
+        )
+        if accepted < 1:
+            failures.append("backpressure probe: nothing was admitted")
+        if rejected < 1:
+            failures.append("backpressure probe never drew a 429")
+        metrics = _scrape_metrics(base)
+        if metrics.get("repro_service_jobs_rejected", 0) < 1:
+            failures.append("jobs_rejected metric never incremented")
+        report["backpressure"] = {"accepted": accepted, "rejected": rejected}
+    finally:
+        _stop_server(proc)
+
+
+# ---- gate --------------------------------------------------------------------
+
+#: Baseline sections gated per stage (hash comparisons are deterministic;
+#: pending/rejection counts are runtime-dependent and deliberately ungated).
+STAGE_GATES = {"smoke": "jobs", "restart": "restart_jobs"}
+
+
+def _gate(report: dict, stages: list[str], failures: list[str]) -> None:
+    if not os.path.exists(BASELINE_PATH):
+        failures.append(f"no committed baseline at {BASELINE_PATH}; run with --update")
+        return
+    with open(BASELINE_PATH, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    for stage in stages:
+        section = STAGE_GATES.get(stage)
+        if section is None:
+            continue
+        for label, fresh in report.get(section, {}).items():
+            want = baseline.get(section, {}).get(label, {}).get("result_hash")
+            if fresh["result_hash"] != want:
+                failures.append(f"{label}: hash {fresh['result_hash']} != baseline {want}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument(
+        "--stage",
+        choices=STAGES + ("all",),
+        default="all",
+        help="run one stage (CI runs them as separate steps) or all",
+    )
+    parser.add_argument(
+        "--require-pending",
+        action="store_true",
+        help="fail the restart stage unless jobs were genuinely pending at "
+        "the SIGKILL (CI passes this; a warm local store may not)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baseline with the fresh hashes",
+    )
+    args = parser.parse_args(argv)
+    stages = list(STAGES) if args.stage == "all" else [args.stage]
+    if args.update and args.stage != "all":
+        parser.error("--update must regenerate every stage: drop --stage")
+
+    # Merge into any fresh artifact from an earlier stage of the same CI
+    # job, so the uploaded BENCH_service_smoke.json carries all sections.
+    fresh_path = os.path.join(ARTIFACT_DIR, "BENCH_service_smoke.json")
+    report: dict = {}
+    if os.path.exists(fresh_path):
+        with open(fresh_path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    report.update(
+        {
+            "benchmark": "service_smoke",
+            "max_slices": os.environ.get("REPRO_MAX_SLICES", "12"),
+            "accesses_per_set": os.environ.get("REPRO_ACCESSES_PER_SET", "400"),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+    )
+
+    failures: list[str] = []
+    for stage in stages:
+        print(f"=== stage: {stage} ===")
+        if stage == "smoke":
+            _stage_smoke(args.cache_dir, report, failures)
+        elif stage == "restart":
+            _stage_restart(args.cache_dir, report, failures, args.require_pending)
+        else:
+            _stage_backpressure(args.cache_dir, report, failures)
 
     fresh_path = write_bench_artifact("service_smoke", report)
     if args.update:
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
         os.makedirs(os.path.dirname(BASELINE_PATH), exist_ok=True)
         shutil.copyfile(fresh_path, BASELINE_PATH)
         print(f"baseline updated: {BASELINE_PATH}")
         return 0
 
-    if not os.path.exists(BASELINE_PATH):
-        failures.append(
-            f"no committed baseline at {BASELINE_PATH}; run with --update"
-        )
-    else:
-        with open(BASELINE_PATH, encoding="utf-8") as fh:
-            baseline = json.load(fh)
-        for label, fresh in report["jobs"].items():
-            want = baseline.get("jobs", {}).get(label, {}).get("result_hash")
-            if fresh["result_hash"] != want:
-                failures.append(
-                    f"{label}: hash {fresh['result_hash']} != baseline {want}"
-                )
-
+    _gate(report, stages, failures)
     if failures:
         for f in failures:
             print(f"FAIL: {f}", file=sys.stderr)
         return 1
-    print("service smoke OK")
+    print(f"service smoke OK ({', '.join(stages)})")
     return 0
 
 

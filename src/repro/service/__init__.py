@@ -24,31 +24,71 @@ over HTTP:
   survive a crash or restart.
 * :mod:`repro.service.api` -- a thin stdlib HTTP surface: submit / poll /
   fetch results / stream interval samples as server-sent batches, plus
-  ``/healthz`` and ``/metrics``; full queues answer ``429`` +
-  ``Retry-After``.
+  ``/healthz`` (the ``healthy``/``degraded``/``draining`` state machine)
+  and ``/metrics``; full queues answer ``429`` + ``Retry-After``; client
+  disconnects are swallowed, not traceback'd.
+* :mod:`repro.service.faults` -- deterministic fault injection: a seeded
+  :class:`FaultPlan` decides, as a pure function of
+  ``(seed, site, invocation)``, where worker crashes, hangs, store
+  corruption, journal write faults and client disconnects strike -- the
+  substrate of the chaos harness (``tools/chaos_smoke.py``) and the
+  self-healing paths above (retries with deterministic backoff, the
+  per-attempt watchdog, the process-executor circuit breaker, store
+  quarantine).
 
 Start one from the command line with ``tools/serve.py``.
 """
 
+from repro.service.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    SITES as FAULT_SITES,
+    clear as clear_faults,
+    install as install_faults,
+    installed as faults_installed,
+)
 from repro.service.jobs import (
     JobSpec,
     SCENARIO_SHAPES,
     WORKLOAD_SHAPE,
     build_item,
     job_spec_from_json,
+    split_submission,
 )
-from repro.service.executor import EXECUTOR_KINDS, make_executor
+from repro.service.executor import (
+    EXECUTOR_KINDS,
+    CircuitBreaker,
+    FailoverExecutor,
+    make_executor,
+)
 from repro.service.journal import JobJournal, JournalRecord
-from repro.service.pool import LANES, Job, QueueFullError, ReplayService
+from repro.service.pool import (
+    LANES,
+    Job,
+    QueueFullError,
+    ReplayService,
+    WatchdogTimeout,
+)
 from repro.service.api import make_server
 
 __all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "FAULT_SITES",
+    "install_faults",
+    "clear_faults",
+    "faults_installed",
     "JobSpec",
     "SCENARIO_SHAPES",
     "WORKLOAD_SHAPE",
     "build_item",
     "job_spec_from_json",
+    "split_submission",
     "EXECUTOR_KINDS",
+    "CircuitBreaker",
+    "FailoverExecutor",
     "make_executor",
     "JobJournal",
     "JournalRecord",
@@ -56,5 +96,6 @@ __all__ = [
     "Job",
     "QueueFullError",
     "ReplayService",
+    "WatchdogTimeout",
     "make_server",
 ]

@@ -14,9 +14,21 @@ Endpoints (all JSON unless noted):
 * ``GET /jobs/<id>/stream`` -- the run's interval samples as *server-sent
   events*, batched (``?batch=N``, default 256 samples per event; waits up
   to ``?timeout=S``, default 60, for the job to finish first).
-* ``GET /healthz`` -- liveness.
+* ``GET /healthz`` -- the health state machine
+  (:meth:`~repro.service.pool.ReplayService.health`): ``healthy`` /
+  ``degraded`` / ``draining``, with the circuit-breaker state, journal
+  backlog and error counters, and retry/watchdog/quarantine totals that
+  explain *why*.
 * ``GET /metrics`` -- Prometheus-style text exposition of the service
-  counters (queue depth, cache hit rate, jobs/sec, latency percentiles).
+  counters (queue depth, cache hit rate, jobs/sec, latency percentiles,
+  plus the health/breaker signals as numeric gauge codes).
+
+A client that disconnects mid-response (``BrokenPipeError`` /
+``ConnectionResetError``, common for SSE consumers that stop early) is
+*swallowed*: the handler thread ends quietly, the service counts the
+disconnect (``client_disconnects``), and no traceback reaches stderr.
+The ``api.sse_disconnect`` fault site (:mod:`repro.service.faults`)
+injects exactly this failure per server-sent event.
 
 Built on :class:`http.server.ThreadingHTTPServer` -- no third-party web
 framework is required, so the service runs anywhere the library does.
@@ -25,12 +37,17 @@ framework is required, so the service runs anywhere the library does.
 from __future__ import annotations
 
 import json
+import sys
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from repro.service import faults
 from repro.service.pool import Job, QueueFullError, ReplayService
 
 __all__ = ["make_server", "ReplayHTTPServer"]
+
+#: Exceptions that mean "the client went away", never "the service broke".
+_DISCONNECTS = (BrokenPipeError, ConnectionResetError)
 
 #: Default interval samples per server-sent batch.
 DEFAULT_STREAM_BATCH = 256
@@ -47,6 +64,19 @@ class ReplayHTTPServer(ThreadingHTTPServer):
     def __init__(self, address, service: ReplayService) -> None:
         super().__init__(address, _Handler)
         self.service = service
+
+    def handle_error(self, request, client_address) -> None:
+        """Swallow client disconnects; defer everything else to stdlib.
+
+        ``socketserver`` prints a full traceback for any handler
+        exception; a client dropping mid-SSE is routine, not an error, so
+        it is counted and silenced instead.
+        """
+        exc = sys.exc_info()[1]
+        if isinstance(exc, _DISCONNECTS):
+            self.service.note_client_disconnect()
+            return
+        super().handle_error(request, client_address)
 
 
 def make_server(service: ReplayService, host: str = "127.0.0.1", port: int = 0) -> ReplayHTTPServer:
@@ -170,15 +200,7 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         if url.path == "/healthz":
-            m = self.server.service.metrics()
-            self._send_json(
-                200,
-                {
-                    "status": "ok",
-                    "workers": m["workers"],
-                    "uptime_s": m["uptime_s"],
-                },
-            )
+            self._send_json(200, self.server.service.health())
         elif url.path == "/metrics":
             body = _metrics_text(self.server.service.metrics()).encode()
             self.send_response(200)
@@ -209,6 +231,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ---- SSE ----------------------------------------------------------------
     def _sse_event(self, event: str, payload: dict) -> None:
+        """Emit one server-sent event (the per-event disconnect fault site).
+
+        An injected or real disconnect raises a ``BrokenPipeError``
+        subtype; it propagates to :meth:`ReplayHTTPServer.handle_error`,
+        which counts and silences it.
+        """
+        if faults.fire(faults.SSE_DISCONNECT) is not None:
+            raise faults.InjectedDisconnect("injected client disconnect mid-SSE")
         self.wfile.write(f"event: {event}\ndata: {json.dumps(payload)}\n\n".encode())
 
     def _stream_samples(self, job: Job, query: dict) -> None:

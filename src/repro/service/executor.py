@@ -18,10 +18,26 @@ admission queue; an executor decides what those threads block on:
   structural, and a digest cross-check turns any disagreement into a loud
   failure instead of a silent drift.
 
-Both executors are selected per service instance
+A third wrapper, :class:`FailoverExecutor`, adds the self-healing tier:
+a :class:`CircuitBreaker` counts consecutive primary-executor failures
+(worker deaths) and, after ``trip_after`` of them, *opens* -- routing jobs
+to a fallback executor (the in-process :class:`ThreadExecutor`) so the
+service degrades to single-process operation instead of feeding jobs to a
+dying pool.  After ``cooldown_jobs`` fallback runs the breaker goes
+*half-open* and probes the primary with one job: success closes the
+circuit, failure re-opens it.  The breaker is deterministic in job counts
+(no wall clock), so chaos storms reproduce its transitions exactly.
+``make_executor("process")`` wraps the process pool in a failover by
+default.
+
+Both base executors are selected per service instance
 (``ReplayService(executor=...)``, ``tools/serve.py --executor``) and
 produce byte-identical results; ``tests/test_service_concurrency.py``
-runs the 16-job S1-S7 storm through both and compares every hash.
+runs the 16-job S1-S7 storm through both and compares every hash.  Each
+executor consults the active fault plan (:mod:`repro.service.faults`)
+before dispatching: the ``executor.crash`` / ``executor.hang`` /
+``executor.slow`` sites inject worker deaths, watchdog-tripping hangs and
+bounded latency on the dispatching side of the process boundary.
 """
 
 from __future__ import annotations
@@ -29,6 +45,7 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import threading
+import time
 
 from repro.experiments.runner import (
     ExperimentContext,
@@ -38,12 +55,43 @@ from repro.experiments.runner import (
     _run_one_scenario,
 )
 from repro.scenarios.events import Scenario
+from repro.service import faults
 from repro.simulation.metrics import RunResult, run_result_digest
 from repro.workloads.mixes import Workload
 
-__all__ = ["ThreadExecutor", "ProcessPoolExecutor", "make_executor", "EXECUTOR_KINDS"]
+__all__ = [
+    "ThreadExecutor",
+    "ProcessPoolExecutor",
+    "FailoverExecutor",
+    "CircuitBreaker",
+    "make_executor",
+    "EXECUTOR_KINDS",
+]
 
 EXECUTOR_KINDS = ("thread", "process")
+
+#: Default hang duration (seconds) for ``executor.hang`` rules without an
+#: explicit ``param`` -- comfortably past any sane watchdog timeout.
+DEFAULT_HANG_S = 30.0
+
+
+def _inject_dispatch_faults() -> None:
+    """Consult the active fault plan at the executor dispatch sites.
+
+    Order matters for determinism: crash, then hang, then slow -- a fired
+    crash never consults the later sites for that dispatch, and the
+    per-site invocation counters advance identically on every same-seed
+    run.
+    """
+    rule = faults.fire(faults.EXECUTOR_CRASH)
+    if rule is not None:
+        raise faults.InjectedWorkerCrash("injected worker crash at dispatch")
+    rule = faults.fire(faults.EXECUTOR_HANG)
+    if rule is not None:
+        time.sleep(rule.param or DEFAULT_HANG_S)
+    rule = faults.fire(faults.EXECUTOR_SLOW)
+    if rule is not None:
+        time.sleep(rule.param or 0.05)
 
 
 class ThreadExecutor:
@@ -68,7 +116,11 @@ class ThreadExecutor:
         """
         from repro.service import pool
 
+        _inject_dispatch_faults()
         return pool._execute_replay(ctx, item, manager)
+
+    def recycle(self, ctx: ExperimentContext) -> None:
+        """Nothing to recycle: the abandoned attempt thread *is* the worker."""
 
     def close(self) -> None:
         """Nothing to release: the executor owns no processes."""
@@ -141,7 +193,15 @@ class ProcessPoolExecutor:
         item: Scenario | Workload,
         manager: ManagerSpec,
     ) -> RunResult:
-        """Dispatch one replay to the pool serving ``ctx``'s system size."""
+        """Dispatch one replay to the pool serving ``ctx``'s system size.
+
+        Fault sites are consulted on the dispatching (parent) side: a
+        fired ``executor.crash`` models the pool losing its worker before
+        the result crosses back, a fired hang models a wedged worker the
+        parent never hears from -- both are what the service's watchdog
+        and retry machinery must absorb.
+        """
+        _inject_dispatch_faults()
         task = (item, manager, ctx.max_slices)
         kind, payload = self._pool_for(ctx).apply(_execute_and_store, ((task, job_id),))
         if kind == "inline":
@@ -161,6 +221,21 @@ class ProcessPoolExecutor:
             )
         return result
 
+    def recycle(self, ctx: ExperimentContext) -> None:
+        """Tear down the pool serving ``ctx`` (hung worker recovery).
+
+        Called by the service watchdog when an attempt timed out: the
+        wedged pool is terminated and dropped, and the next dispatch for
+        this system size lazily builds a fresh one -- the process-pool
+        equivalent of recycling a hung worker.
+        """
+        key = ctx.system.ncores
+        with self._lock:
+            pool = self._pools.pop(key, None)
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+
     def close(self) -> None:
         """Terminate and join every pool (idempotent)."""
         with self._lock:
@@ -172,10 +247,192 @@ class ProcessPoolExecutor:
             pool.join()
 
 
-def make_executor(kind: str, *, processes: int = 2, start_method: str | None = None):
-    """Build the executor named by ``kind`` (``thread`` or ``process``)."""
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker, deterministic in job counts.
+
+    States and transitions (``tests/test_faults.py`` pins them):
+
+    * ``closed`` -- primary serves traffic; ``trip_after`` *consecutive*
+      failures open the circuit (any success resets the streak).
+    * ``open`` -- primary is bypassed; after ``cooldown_jobs`` bypassed
+      runs the breaker moves to ``half_open``.
+    * ``half_open`` -- exactly one probe is routed to the primary (other
+      concurrent jobs keep bypassing); probe success closes the circuit,
+      probe failure re-opens it with a fresh cooldown.
+
+    The cooldown is measured in *jobs routed while open*, not wall-clock
+    seconds, so breaker behaviour replays identically under a seeded
+    chaos storm.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, trip_after: int = 3, cooldown_jobs: int = 8) -> None:
+        if trip_after < 1:
+            raise ValueError("trip_after must be at least 1")
+        if cooldown_jobs < 1:
+            raise ValueError("cooldown_jobs must be at least 1")
+        self.trip_after = trip_after
+        self.cooldown_jobs = cooldown_jobs
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._bypassed = 0
+        self._probe_out = False
+        #: Monotonic transition counters (metrics).
+        self.trips = 0
+        self.probes = 0
+
+    def allow_primary(self) -> bool:
+        """Route the next job: True -> primary, False -> fallback."""
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                self._bypassed += 1
+                if self._bypassed >= self.cooldown_jobs:
+                    self.state = self.HALF_OPEN
+                    self._probe_out = True
+                    self.probes += 1
+                    return True
+                return False
+            # half_open: one probe at a time.
+            if not self._probe_out:
+                self._probe_out = True
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A primary run completed (closes a half-open circuit)."""
+        with self._lock:
+            self.state = self.CLOSED
+            self._consecutive_failures = 0
+            self._bypassed = 0
+            self._probe_out = False
+
+    def record_failure(self) -> None:
+        """A primary run failed (may trip or re-open the circuit)."""
+        with self._lock:
+            if self.state == self.HALF_OPEN:
+                self.state = self.OPEN
+                self._bypassed = 0
+                self._probe_out = False
+                self.trips += 1
+                return
+            self._consecutive_failures += 1
+            if self.state == self.CLOSED and self._consecutive_failures >= self.trip_after:
+                self.state = self.OPEN
+                self._bypassed = 0
+                self.trips += 1
+
+
+class FailoverExecutor:
+    """Primary executor guarded by a circuit breaker, with graceful fallback.
+
+    Wraps a primary (typically the process pool) and a fallback (the
+    in-process thread executor): while the breaker is closed every job
+    runs on the primary; ``trip_after`` consecutive primary failures open
+    it and jobs degrade to the fallback until a half-open probe succeeds.
+    Results are byte-identical on either path (the cross-executor storm
+    test pins this), so failover changes capacity, never answers.
+
+    ``stores_results`` is declared True: when the executor that actually
+    ran does not persist results itself (the thread fallback), this
+    wrapper performs the store put, keeping the pool's persistence
+    contract independent of which side of the breaker served the job.
+    """
+
+    name = "failover"
+    stores_results = True
+
+    def __init__(
+        self,
+        primary,
+        fallback=None,
+        *,
+        trip_after: int = 3,
+        cooldown_jobs: int = 8,
+    ) -> None:
+        self.primary = primary
+        self.fallback = fallback if fallback is not None else ThreadExecutor()
+        self.breaker = CircuitBreaker(trip_after=trip_after, cooldown_jobs=cooldown_jobs)
+        #: Jobs served by the fallback while the circuit was not closed.
+        self.fallback_runs = 0
+        #: Store puts absorbed as failures (result still served).
+        self.store_put_errors = 0
+
+    @property
+    def processes(self) -> int:
+        """The primary's pool size (metrics surface)."""
+        return getattr(self.primary, "processes", 0)
+
+    def run(
+        self,
+        ctx: ExperimentContext,
+        job_id: str,
+        item: Scenario | Workload,
+        manager: ManagerSpec,
+    ) -> RunResult:
+        """Route one replay through the breaker and persist its result."""
+        use_primary = self.breaker.allow_primary()
+        executor = self.primary if use_primary else self.fallback
+        try:
+            result = executor.run(ctx, job_id, item, manager)
+        except Exception:
+            if use_primary:
+                self.breaker.record_failure()
+            raise
+        if use_primary:
+            self.breaker.record_success()
+        else:
+            self.fallback_runs += 1
+        if not executor.stores_results and ctx.results_store is not None:
+            try:
+                ctx.results_store.put(job_id, result)
+            except OSError:
+                # The replay itself succeeded; a failed persist degrades
+                # the cache, not the answer.
+                self.store_put_errors += 1
+        return result
+
+    def recycle(self, ctx: ExperimentContext) -> None:
+        """Recycle the primary's hung worker (fallback has none)."""
+        recycle = getattr(self.primary, "recycle", None)
+        if recycle is not None:
+            recycle(ctx)
+
+    def close(self) -> None:
+        """Release both sides."""
+        self.primary.close()
+        self.fallback.close()
+
+
+def make_executor(
+    kind: str,
+    *,
+    processes: int = 2,
+    start_method: str | None = None,
+    failover: bool = True,
+    trip_after: int = 3,
+    cooldown_jobs: int = 8,
+):
+    """Build the executor named by ``kind`` (``thread`` or ``process``).
+
+    ``process`` executors are wrapped in a :class:`FailoverExecutor` by
+    default (``failover=False`` opts out): ``trip_after`` consecutive
+    worker deaths trip the breaker and jobs degrade to the in-process
+    thread path until a half-open probe succeeds.
+    """
     if kind == "thread":
         return ThreadExecutor()
     if kind == "process":
-        return ProcessPoolExecutor(processes=processes, start_method=start_method)
+        primary = ProcessPoolExecutor(processes=processes, start_method=start_method)
+        if not failover:
+            return primary
+        return FailoverExecutor(
+            primary, ThreadExecutor(), trip_after=trip_after, cooldown_jobs=cooldown_jobs
+        )
     raise ValueError(f"unknown executor kind {kind!r}; known: {', '.join(EXECUTOR_KINDS)}")

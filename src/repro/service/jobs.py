@@ -46,9 +46,11 @@ __all__ = [
     "JobSpec",
     "SCENARIO_SHAPES",
     "WORKLOAD_SHAPE",
+    "SUBMISSION_ATTRS",
     "job_spec_from_json",
     "build_item",
     "job_key",
+    "split_submission",
 ]
 
 #: Shape id -> scenario generator.  S7 (the scaling experiment) replays the
@@ -68,6 +70,26 @@ SCENARIO_SHAPES = {
 #: setting): ``params`` carry ``apps`` (one benchmark per core) and an
 #: optional ``slack`` (scalar or per-core list).
 WORKLOAD_SHAPE = "FIXED"
+
+#: Request attributes that describe *delivery*, not the run's identity:
+#: they never enter the job hash, so the same run requested on different
+#: lanes still dedups onto one job.
+SUBMISSION_ATTRS = ("lane",)
+
+
+def split_submission(payload: dict) -> tuple[dict, dict]:
+    """Split a raw submit body into ``(delivery_attrs, spec_fields)``.
+
+    ``delivery_attrs`` holds the :data:`SUBMISSION_ATTRS` keys present in
+    the body (e.g. the admission lane); ``spec_fields`` is what remains --
+    the identity of the run, fed to :func:`job_spec_from_json`.  The input
+    mapping is not mutated.
+    """
+    require(isinstance(payload, dict), "request body must be a JSON object")
+    spec_fields = dict(payload)
+    attrs = {key: spec_fields.pop(key) for key in SUBMISSION_ATTRS if key in spec_fields}
+    return attrs, spec_fields
+
 
 _SCALARS = (bool, int, float, str)
 

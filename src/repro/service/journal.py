@@ -10,6 +10,10 @@ transition of a journalled job appends one JSON line to
   journal alone;
 * ``claimed`` -- a worker started executing the job (advisory: a claimed
   job is still recovered, because the claimant may have died mid-run);
+  carries the 1-based attempt number;
+* ``retrying`` -- an attempt failed and the job was requeued with backoff;
+  carries the failed attempt count, so recovery resumes the retry budget
+  where it left off instead of resetting it;
 * ``stored`` -- the content-addressed results store persisted the run's
   bytes (appended through the store's ``on_put`` hook);
 * ``published`` / ``failed`` -- the job settled; settled jobs are not
@@ -21,21 +25,37 @@ accepted.  A torn final line (the crash happened mid-append) is tolerated
 on replay: every complete record before it is recovered, the fragment is
 dropped, and :attr:`JobJournal.torn_lines` counts the drop.
 
+Write faults self-heal: a failed append (torn write or fsync error --
+injectable via :mod:`repro.service.faults`) is retried once on a freshly
+opened handle, with a leading newline isolating any half-written fragment
+so replay drops it; a second failure is *absorbed* (counted in
+:attr:`JobJournal.append_failures`, surfaced as ``degraded`` by the
+service health endpoint) rather than failing the job -- availability
+degrades to best-effort durability instead of refusing traffic.
+
 On boot, :meth:`JobJournal.pending` folds the log into the set of
-unsettled jobs and :meth:`JobJournal.compact` atomically rewrites the file
-to just those records (tmp + fsync + ``os.replace``), so the journal stays
-proportional to the live queue instead of growing with service lifetime.
-The journal assumes a single writing service per directory -- run one
-``tools/serve.py`` per journal dir.
+unsettled jobs (each carrying its latest attempt count) and
+:meth:`JobJournal.compact` atomically rewrites the file to just those
+records (tmp + fsync + ``os.replace``).  The service also auto-compacts a
+long-running journal: :meth:`maybe_compact` triggers once settled records
+since the last compaction exceed ``compact_factor`` times the pending
+backlog (with a floor), so the WAL stays proportional to the live queue
+instead of growing with service lifetime.  The journal assumes a single
+writing service per directory -- run one ``tools/serve.py`` per journal
+dir.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
 import tempfile
 import threading
 from dataclasses import dataclass
+
+from repro.service.faults import InjectedJournalError
+from repro.service.faults import fire as _fire
 
 __all__ = ["JobJournal", "JournalRecord", "JOURNAL_EVENTS", "JOURNAL_FORMAT_VERSION"]
 
@@ -44,7 +64,7 @@ __all__ = ["JobJournal", "JournalRecord", "JOURNAL_EVENTS", "JOURNAL_FORMAT_VERS
 JOURNAL_FORMAT_VERSION = 1
 
 #: The journalled job-state transitions, in lifecycle order.
-JOURNAL_EVENTS = ("submitted", "claimed", "stored", "published", "failed")
+JOURNAL_EVENTS = ("submitted", "claimed", "retrying", "stored", "published", "failed")
 
 #: Events that settle a job (it will not be recovered afterwards).
 _SETTLED = frozenset({"published", "failed"})
@@ -52,7 +72,9 @@ _SETTLED = frozenset({"published", "failed"})
 
 @dataclass(frozen=True)
 class JournalRecord:
-    """One journalled transition; ``spec``/``lane`` are set on ``submitted``."""
+    """One journalled transition; ``spec``/``lane`` are set on ``submitted``,
+    ``attempt`` on ``claimed``/``retrying`` (and on compacted ``submitted``
+    records, preserving the retry budget across recovery)."""
 
     event: str
     job_id: str
@@ -60,11 +82,12 @@ class JournalRecord:
     spec: dict | None = None
     result_hash: str | None = None
     error: str | None = None
+    attempt: int | None = None
 
     def to_json(self) -> dict:
         """The JSONL wire form (versioned, ``None`` fields omitted)."""
         payload = {"v": JOURNAL_FORMAT_VERSION, "event": self.event, "job_id": self.job_id}
-        for field in ("lane", "spec", "result_hash", "error"):
+        for field in ("lane", "spec", "result_hash", "error", "attempt"):
             value = getattr(self, field)
             if value is not None:
                 payload[field] = value
@@ -90,6 +113,7 @@ class JournalRecord:
             spec=payload.get("spec"),
             result_hash=payload.get("result_hash"),
             error=payload.get("error"),
+            attempt=payload.get("attempt"),
         )
 
 
@@ -104,15 +128,34 @@ class JobJournal:
 
     FILENAME = "journal.jsonl"
 
-    def __init__(self, root: str) -> None:
+    def __init__(
+        self,
+        root: str,
+        *,
+        compact_factor: int = 4,
+        compact_min_settled: int = 64,
+    ) -> None:
+        if compact_factor < 1:
+            raise ValueError("compact_factor must be at least 1")
         self.root = root
         self.path = os.path.join(root, self.FILENAME)
+        self.compact_factor = compact_factor
+        self.compact_min_settled = compact_min_settled
         self._lock = threading.Lock()
         self._fh = None
         #: Records appended by this process (monotonic, for metrics).
         self.appends = 0
         #: Malformed lines dropped by the last :meth:`records` call.
         self.torn_lines = 0
+        #: Write faults healed by the reopen-and-rewrite retry.
+        self.write_errors = 0
+        #: Appends abandoned after the retry also failed (degraded mode).
+        self.append_failures = 0
+        #: Settled (published/failed) records since the last compaction --
+        #: the auto-compaction trigger input.
+        self.settled_since_compact = 0
+        #: Compactions performed by this process (explicit + automatic).
+        self.compactions = 0
 
     # ---- writing ------------------------------------------------------------
     def _ensure_open(self):
@@ -120,6 +163,21 @@ class JobJournal:
             os.makedirs(self.root, exist_ok=True)
             self._fh = open(self.path, "a", encoding="utf-8")
         return self._fh
+
+    def _write_line(self, line: str) -> None:
+        """One write+flush+fsync barrier, with injectable write faults."""
+        fh = self._ensure_open()
+        if _fire("journal.torn_write"):
+            # Leave exactly what a crash mid-write leaves: a prefix of the
+            # record with no terminating newline.
+            fh.write(line[: max(1, len(line) // 2)])
+            fh.flush()
+            raise InjectedJournalError("injected torn journal write")
+        fh.write(line)
+        fh.flush()
+        if _fire("journal.fsync"):
+            raise InjectedJournalError("injected journal fsync failure")
+        os.fsync(fh.fileno())
 
     def append(
         self,
@@ -130,8 +188,17 @@ class JobJournal:
         spec: dict | None = None,
         result_hash: str | None = None,
         error: str | None = None,
+        attempt: int | None = None,
     ) -> JournalRecord:
-        """Durably append one transition (fsync'd before returning)."""
+        """Durably append one transition (fsync'd before returning).
+
+        A failed write self-heals: the handle is reopened and the record
+        rewritten once, prefixed with a newline so any half-written
+        fragment is isolated on its own (malformed, hence dropped) line.
+        A second failure is absorbed into :attr:`append_failures` -- the
+        service keeps running with degraded durability rather than failing
+        the job, and reports it via ``/healthz``.
+        """
         record = JournalRecord(
             event=event,
             job_id=job_id,
@@ -139,14 +206,25 @@ class JobJournal:
             spec=spec,
             result_hash=result_hash,
             error=error,
+            attempt=attempt,
         )
         line = json.dumps(record.to_json(), sort_keys=True) + "\n"
         with self._lock:
-            fh = self._ensure_open()
-            fh.write(line)
-            fh.flush()
-            os.fsync(fh.fileno())
+            try:
+                self._write_line(line)
+            except OSError:
+                self.write_errors += 1
+                try:
+                    if self._fh is not None:
+                        self._fh.close()
+                        self._fh = None
+                    self._write_line("\n" + line)
+                except OSError:
+                    self.append_failures += 1
+                    return record
             self.appends += 1
+            if record.event in _SETTLED:
+                self.settled_since_compact += 1
         return record
 
     def close(self) -> None:
@@ -185,14 +263,20 @@ class JobJournal:
         published/failed, folded in append order.
 
         Returns ``{job_id: submitted-record}`` -- each value carries the
-        wire-form spec and lane needed to re-submit the job.  A ``claimed``
-        transition does *not* settle a job (its claimant may have died
-        mid-run), which is exactly what makes in-flight jobs recoverable.
+        wire-form spec, lane, and the latest journalled attempt count (so
+        recovery resumes the retry budget instead of resetting it).  A
+        ``claimed`` transition does *not* settle a job (its claimant may
+        have died mid-run), which is exactly what makes in-flight jobs
+        recoverable.
         """
         live: dict[str, JournalRecord] = {}
         for record in self.records():
             if record.event == "submitted" and record.spec is not None:
                 live[record.job_id] = record
+            elif record.event == "retrying" and record.attempt is not None:
+                held = live.get(record.job_id)
+                if held is not None and (held.attempt or 0) < record.attempt:
+                    live[record.job_id] = dataclasses.replace(held, attempt=record.attempt)
             elif record.event in _SETTLED:
                 live.pop(record.job_id, None)
         return live
@@ -209,6 +293,8 @@ class JobJournal:
         if pending is None:
             pending = self.pending()
         with self._lock:
+            self.settled_since_compact = 0
+            self.compactions += 1
             if self._fh is not None:
                 self._fh.close()
                 self._fh = None
@@ -228,3 +314,20 @@ class JobJournal:
                     pass
                 raise
         return len(pending)
+
+    def maybe_compact(self, pending_hint: int = 0) -> bool:
+        """Auto-compact once settled records dominate the live backlog.
+
+        ``pending_hint`` is the caller's cheap estimate of unsettled jobs
+        (the service passes its queue depth).  Compaction triggers when
+        settled records since the last compaction exceed
+        ``max(compact_min_settled, compact_factor * max(1, pending_hint))``
+        -- i.e. the journal is mostly dead weight -- and is skipped
+        otherwise, so the hot append path never pays a full-file rewrite.
+        Returns True when a compaction ran.
+        """
+        threshold = max(self.compact_min_settled, self.compact_factor * max(1, pending_hint))
+        if self.settled_since_compact < threshold:
+            return False
+        self.compact()
+        return True

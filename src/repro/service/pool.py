@@ -35,14 +35,40 @@ Production hardening on top of the PR-6 pool:
   skips of a waiting bulk job one bulk job is dequeued (starvation
   escape), bounding bulk wait without letting sweeps delay QoS traffic.
 * **Durability** -- with a :class:`~repro.service.journal.JobJournal`
-  attached, every submitted/claimed/published/failed transition is
-  fsync'd to the write-ahead log before it is acknowledged, and
+  attached, every submitted/claimed/retrying/published/failed transition
+  is fsync'd to the write-ahead log before it is acknowledged, and
   :meth:`ReplayService.recover` re-submits unsettled journalled jobs on
-  boot, so a SIGKILL'd service resumes its queue.
+  boot (resuming their journalled retry budgets), so a SIGKILL'd service
+  resumes its queue.  Settled records are auto-compacted away once they
+  dominate the live backlog (:meth:`~repro.service.journal.JobJournal.
+  maybe_compact`).
 
-A worker crash mid-job marks the job ``failed`` (with the error) and
-releases any coalesced waiters -- it never hangs clients, and a later
-identical submission retries cleanly.
+Self-healing (PR 9) on top of that:
+
+* **Retries with deterministic backoff** -- a failed attempt is requeued
+  up to ``max_retries`` times with capped exponential backoff whose
+  jitter is a pure hash of ``(job_id, attempt)``
+  (:func:`~repro.util.backoff.backoff_delay`), so a replayed fault storm
+  reproduces the exact same schedule.  The attempt count is journalled
+  (``retrying`` records), so recovery resumes the budget instead of
+  resetting it -- a crash loop cannot retry forever across restarts.
+* **Watchdog** -- with ``job_timeout_s`` set, each attempt runs on a
+  disposable thread; an attempt that exceeds the deadline is abandoned
+  (:class:`WatchdogTimeout` -> normal retry path) and
+  ``executor.recycle(ctx)`` tears down the wedged worker/pool so the
+  retry gets a fresh one.
+* **Circuit breaker** -- the default ``process`` executor is wrapped in a
+  :class:`~repro.service.executor.FailoverExecutor`: consecutive worker
+  deaths trip a breaker and jobs degrade to the in-process thread path
+  (bit-identical results, reduced isolation) until a half-open probe
+  succeeds.
+* **Health states** -- :meth:`ReplayService.health` folds all of the
+  above into ``healthy`` / ``degraded`` / ``draining`` for ``/healthz``;
+  :meth:`metrics` exposes the same signals as numeric gauges.
+
+A job that exhausts its retry budget is marked ``failed`` (with the
+error) and releases any coalesced waiters -- it never hangs clients, and
+a later identical submission retries cleanly.
 """
 
 from __future__ import annotations
@@ -63,10 +89,17 @@ from repro.experiments.runner import (
 )
 from repro.scenarios.events import Scenario
 from repro.service.executor import make_executor
-from repro.service.jobs import JobSpec, build_item, job_key, job_spec_from_json
+from repro.service.jobs import (
+    JobSpec,
+    build_item,
+    job_key,
+    job_spec_from_json,
+    split_submission,
+)
 from repro.service.journal import JobJournal
 from repro.simulation.metrics import RunResult, run_result_digest
 from repro.simulation.results_store import InflightRegistry
+from repro.util.backoff import backoff_delay
 from repro.util.parallel import parallel_map
 from repro.workloads.mixes import Workload
 
@@ -74,11 +107,13 @@ __all__ = [
     "Job",
     "ReplayService",
     "QueueFullError",
+    "WatchdogTimeout",
     "JOB_STATES",
     "LANES",
     "DEFAULT_LANE",
     "DEFAULT_MAX_QUEUE",
     "DEFAULT_BULK_ESCAPE_EVERY",
+    "DEFAULT_MAX_RETRIES",
 ]
 
 JOB_STATES = ("queued", "running", "done", "failed")
@@ -96,6 +131,18 @@ DEFAULT_MAX_QUEUE = 1024
 #: A waiting bulk job is dequeued after this many consecutive interactive
 #: dequeues skipped it (the starvation-avoidance escape).
 DEFAULT_BULK_ESCAPE_EVERY = 8
+
+#: Default retry budget: a job gets ``1 + max_retries`` attempts total.
+DEFAULT_MAX_RETRIES = 2
+
+
+class WatchdogTimeout(Exception):
+    """An attempt exceeded ``job_timeout_s``; the worker was recycled.
+
+    Raised *in the service worker thread* after the attempt thread is
+    abandoned, so it flows through the normal retry/fail path like any
+    other attempt failure.
+    """
 
 
 class QueueFullError(Exception):
@@ -221,6 +268,9 @@ class Job:
     cache_hit: bool = False
     #: True when the job was re-submitted from the journal on boot.
     recovered: bool = False
+    #: Completed (failed) attempts so far; recovery seeds this from the
+    #: journal so the retry budget survives a restart.
+    attempts: int = 0
     finished: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -240,6 +290,7 @@ class Job:
             "submissions": self.submissions,
             "cache_hit": self.cache_hit,
             "recovered": self.recovered,
+            "attempts": self.attempts,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -265,6 +316,14 @@ class ReplayService:
     makes queued and in-flight jobs survive a crash (call
     :meth:`recover` on boot).  Use as a context manager or call
     :meth:`close` to drain and join the workers.
+
+    Self-healing knobs: ``max_retries`` bounds the retry budget per job
+    (``1 + max_retries`` attempts total, counted *across restarts* via
+    the journal); ``job_timeout_s`` arms the per-attempt watchdog (None
+    disables it); ``backoff_base_s``/``backoff_cap_s`` shape the
+    deterministic retry backoff.  ``autostart=False`` defers the worker
+    threads until :meth:`start` -- the chaos harness uses this to get a
+    deterministic journal order (submit everything, then run).
     """
 
     def __init__(
@@ -278,17 +337,30 @@ class ReplayService:
         bulk_escape_every: int = DEFAULT_BULK_ESCAPE_EVERY,
         journal: JobJournal | str | None = None,
         start_method: str | None = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        job_timeout_s: float | None = None,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+        autostart: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("service needs at least one worker")
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if job_timeout_s is not None and job_timeout_s <= 0:
+            raise ValueError("job_timeout_s must be positive (or None)")
         self._context_factory = context_factory
         self._contexts: dict[int, ExperimentContext] = {}
         self._jobs: dict[str, Job] = {}
         self._queue = _LaneQueue(bulk_escape_every=bulk_escape_every)
         self._lock = threading.Lock()
         self.max_queue = max_queue
+        self.max_retries = max_retries
+        self.job_timeout_s = job_timeout_s
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
         if isinstance(executor, str):
             executor = make_executor(
                 executor,
@@ -306,13 +378,20 @@ class ReplayService:
         self.dedup_hits = 0
         self.jobs_rejected = 0
         self.jobs_recovered = 0
+        self.jobs_retried = 0
+        self.attempts_total = 0
+        self.watchdog_timeouts = 0
+        self.store_put_errors = 0
+        self.client_disconnects = 0
         self._latencies_s: dict[str, list[float]] = {lane: [] for lane in LANES}
+        self._draining = False
+        self._started = False
         self._workers = [
             threading.Thread(target=self._worker_loop, name=f"replay-worker-{i}", daemon=True)
             for i in range(workers)
         ]
-        for t in self._workers:
-            t.start()
+        if autostart:
+            self.start()
 
     # ---- lifecycle ----------------------------------------------------------
     def __enter__(self) -> "ReplayService":
@@ -321,8 +400,24 @@ class ReplayService:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def start(self) -> None:
+        """Start the worker threads (idempotent; implicit unless
+        ``autostart=False``)."""
+        if self._started:
+            return
+        self._started = True
+        for t in self._workers:
+            t.start()
+
     def close(self) -> None:
-        """Drain queued jobs, join the workers, release executor/journal."""
+        """Drain queued jobs, join the workers, release executor/journal.
+
+        Sets the draining flag first: jobs that fail during shutdown are
+        settled as ``failed`` instead of being requeued, so close cannot
+        be held up by a retry loop.
+        """
+        self._draining = True
+        self.start()  # a never-started service still drains its queue
         for _ in self._workers:
             self._queue.put_sentinel()
         for t in self._workers:
@@ -377,18 +472,17 @@ class ReplayService:
         *,
         _admitted: bool = False,
         _recovered: bool = False,
+        _attempts: int = 0,
     ) -> tuple[Job, bool]:
         """Like :meth:`submit`, also reporting whether the request coalesced
         onto an existing job (the HTTP layer surfaces this as ``deduped``)."""
         if isinstance(request, JobSpec):
             spec = request
         else:
-            if isinstance(request, dict):
-                request = dict(request)
-                body_lane = request.pop("lane", None)
-                if lane is None:
-                    lane = body_lane
-            spec = job_spec_from_json(request)
+            attrs, spec_fields = split_submission(request)
+            if lane is None:
+                lane = attrs.get("lane")
+            spec = job_spec_from_json(spec_fields)
         if lane is None:
             lane = DEFAULT_LANE
         if lane not in LANES:
@@ -414,6 +508,7 @@ class ReplayService:
                 lane=lane,
                 submitted_s=time.monotonic(),
                 recovered=_recovered,
+                attempts=_attempts,
             )
             self._jobs[key] = job
         # Journal before enqueue: once a client is told "accepted", the job
@@ -456,7 +551,13 @@ class ReplayService:
         for old_id, record in pending.items():
             body = dict(record.spec)
             try:
-                job, _ = self.submit_info(body, lane=record.lane, _admitted=True, _recovered=True)
+                job, _ = self.submit_info(
+                    body,
+                    lane=record.lane,
+                    _admitted=True,
+                    _recovered=True,
+                    _attempts=record.attempt or 0,
+                )
             except ValueError as exc:
                 self.journal.append("failed", old_id, error=f"unrecoverable journalled job: {exc}")
                 continue
@@ -477,13 +578,54 @@ class ReplayService:
                 return
             self._run_job(job)
 
+    def _execute_attempt(self, ctx: ExperimentContext, job: Job) -> RunResult:
+        """One executor dispatch, under the watchdog when armed.
+
+        With ``job_timeout_s`` set the dispatch runs on a disposable
+        daemon thread; if it misses the deadline the thread is abandoned
+        (it holds no service state -- claim/publish stay in the worker
+        thread), the executor recycles the wedged worker/pool, and
+        :class:`WatchdogTimeout` feeds the normal retry path.
+        """
+        if self.job_timeout_s is None:
+            return self.executor.run(ctx, job.job_id, job.item, job.spec.manager)
+        box: dict[str, object] = {}
+        done = threading.Event()
+
+        def _attempt() -> None:
+            try:
+                box["result"] = self.executor.run(ctx, job.job_id, job.item, job.spec.manager)
+            except BaseException as exc:  # delivered to the worker thread
+                box["error"] = exc
+            finally:
+                done.set()
+
+        thread = threading.Thread(target=_attempt, name=f"attempt-{job.job_id[:8]}", daemon=True)
+        thread.start()
+        if not done.wait(self.job_timeout_s):
+            with self._lock:
+                self.watchdog_timeouts += 1
+            recycle = getattr(self.executor, "recycle", None)
+            if recycle is not None:
+                recycle(ctx)
+            raise WatchdogTimeout(
+                f"attempt exceeded job_timeout_s={self.job_timeout_s}; worker recycled"
+            )
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
     def _run_job(self, job: Job) -> None:
         job.status = "running"
-        job.started_s = time.monotonic()
+        if job.started_s is None:
+            job.started_s = time.monotonic()
+        attempt = job.attempts + 1
         if self.journal is not None:
-            self.journal.append("claimed", job.job_id)
+            self.journal.append("claimed", job.job_id, attempt=attempt)
         ctx = self.ctx_for(job.spec.ncores)
         owner, ticket = self.inflight.claim(job.job_id)
+        with self._lock:
+            self.attempts_total += 1
         try:
             if not owner:
                 # Another executor sharing this store is already running the
@@ -500,24 +642,52 @@ class ReplayService:
                 if result is not None:
                     job.cache_hit = True
                 else:
-                    result = self.executor.run(ctx, job.job_id, job.item, job.spec.manager)
+                    result = self._execute_attempt(ctx, job)
                     with self._lock:
                         self.simulations += 1
                     if store is not None and not self.executor.stores_results:
-                        store.put(job.job_id, result)
+                        try:
+                            store.put(job.job_id, result)
+                        except OSError:
+                            # The run succeeded; a failed persist degrades
+                            # the cache, never the answer.
+                            with self._lock:
+                                self.store_put_errors += 1
                 self.inflight.publish(ticket, result)
         except Exception as exc:
             if owner:
                 self.inflight.fail(ticket, exc)
+            job.attempts = attempt
             job.error = f"{type(exc).__name__}: {exc}"
+            if attempt <= self.max_retries and not self._draining:
+                # Journal the failed attempt *before* requeueing, so a
+                # crash between the two cannot reset the retry budget.
+                if self.journal is not None:
+                    self.journal.append("retrying", job.job_id, attempt=attempt, error=job.error)
+                with self._lock:
+                    self.jobs_retried += 1
+                time.sleep(
+                    backoff_delay(
+                        attempt,
+                        base_s=self.backoff_base_s,
+                        cap_s=self.backoff_cap_s,
+                        key=(job.job_id,),
+                    )
+                )
+                job.status = "queued"
+                self._queue.put(job)  # re-admission is unconditional
+                return
             job.status = "failed"
             job.finished_s = time.monotonic()
             with self._lock:
                 self.jobs_failed += 1
             if self.journal is not None:
-                self.journal.append("failed", job.job_id, error=job.error)
+                self.journal.append("failed", job.job_id, error=job.error, attempt=attempt)
+                self.journal.maybe_compact(self._queue.depth())
             job.finished.set()
             return
+        job.attempts = attempt
+        job.error = None
         job.result = result
         job.result_hash = run_result_digest(result)
         job.status = "done"
@@ -527,9 +697,82 @@ class ReplayService:
             self._latencies_s[job.lane].append(job.finished_s - job.submitted_s)
         if self.journal is not None:
             self.journal.append("published", job.job_id, result_hash=job.result_hash)
+            self.journal.maybe_compact(self._queue.depth())
         job.finished.set()
 
-    # ---- metrics ------------------------------------------------------------
+    # ---- health / metrics ---------------------------------------------------
+    def note_client_disconnect(self) -> None:
+        """Record one mid-response client disconnect (HTTP layer hook)."""
+        with self._lock:
+            self.client_disconnects += 1
+
+    def _breaker_state(self) -> str:
+        breaker = getattr(self.executor, "breaker", None)
+        return breaker.state if breaker is not None else "none"
+
+    def _store_quarantined(self) -> int:
+        with self._lock:
+            return sum(
+                ctx.results_store.quarantined
+                for ctx in self._contexts.values()
+                if ctx.results_store is not None
+            )
+
+    def health(self) -> dict:
+        """The service health state machine, as served by ``/healthz``.
+
+        ``status`` is one of:
+
+        * ``healthy`` -- serving normally;
+        * ``degraded`` -- still serving, but a self-healing mechanism is
+          engaged: the circuit breaker is open/half-open (jobs run on the
+          fallback executor), the journal has absorbed append failures
+          (durability is best-effort), or the admission queue is
+          saturated (submissions are being 429'd);
+        * ``draining`` -- :meth:`close` has begun; failures no longer
+          retry.
+
+        The accompanying fields name *why*: breaker state, queue depth,
+        journal backlog/error counters, retry/watchdog/quarantine/
+        disconnect totals.  :meth:`metrics` exposes the same signals as
+        numeric gauges for scraping.
+        """
+        depth = self._queue.depth()
+        breaker_state = self._breaker_state()
+        journal = self.journal
+        append_failures = journal.append_failures if journal is not None else 0
+        if self._draining:
+            status = "draining"
+        elif (
+            breaker_state in ("open", "half_open")
+            or append_failures > 0
+            or depth >= self.max_queue
+        ):
+            status = "degraded"
+        else:
+            status = "healthy"
+        with self._lock:
+            retried = self.jobs_retried
+            watchdog = self.watchdog_timeouts
+            disconnects = self.client_disconnects
+            put_errors = self.store_put_errors
+        return {
+            "status": status,
+            "workers": len(self._workers),
+            "uptime_s": max(time.monotonic() - self.started_s, 1e-9),
+            "breaker_state": breaker_state,
+            "queue_depth": depth,
+            "queue_capacity": self.max_queue,
+            "journal_backlog": journal.settled_since_compact if journal is not None else 0,
+            "journal_write_errors": journal.write_errors if journal is not None else 0,
+            "journal_append_failures": append_failures,
+            "jobs_retried": retried,
+            "watchdog_timeouts": watchdog,
+            "store_put_errors": put_errors,
+            "store_quarantined": self._store_quarantined(),
+            "client_disconnects": disconnects,
+        }
+
     @staticmethod
     def _percentile(sorted_values: list[float], q: float) -> float:
         if not sorted_values:
@@ -537,8 +780,14 @@ class ReplayService:
         idx = min(len(sorted_values) - 1, int(q * len(sorted_values)))
         return sorted_values[idx]
 
+    #: Health/breaker states as numeric gauge codes (``/metrics`` values
+    #: must parse as floats; the strings live in ``/healthz`` JSON).
+    _HEALTH_CODES = {"healthy": 0, "degraded": 1, "draining": 2}
+    _BREAKER_CODES = {"none": 0, "closed": 0, "half_open": 1, "open": 2}
+
     def metrics(self) -> dict:
         """One snapshot of the service's operational counters."""
+        health = self.health()
         with self._lock:
             per_lane = {lane: sorted(vals) for lane, vals in self._latencies_s.items()}
             stores = [
@@ -549,11 +798,18 @@ class ReplayService:
             hits = sum(s.hits for s in stores)
             misses = sum(s.misses for s in stores)
             puts = sum(s.puts for s in stores)
+            quarantined = sum(s.quarantined for s in stores)
             done, failed = self.jobs_done, self.jobs_failed
             dedup = self.dedup_hits
             sims = self.simulations
             rejected = self.jobs_rejected
             recovered = self.jobs_recovered
+            retried = self.jobs_retried
+            attempts = self.attempts_total
+            watchdog = self.watchdog_timeouts
+            put_errors = self.store_put_errors
+            disconnects = self.client_disconnects
+        breaker = getattr(self.executor, "breaker", None)
         latencies = sorted(v for vals in per_lane.values() for v in vals)
         depths = self._queue.depths()
         uptime_s = max(time.monotonic() - self.started_s, 1e-9)
@@ -569,8 +825,22 @@ class ReplayService:
             "jobs_rejected": rejected,
             "jobs_recovered": recovered,
             "jobs_deduped": dedup,
+            "jobs_retried": retried,
+            "attempts_total": attempts,
+            "watchdog_timeouts": watchdog,
             "jobs_inflight_coalesced": self.inflight.coalesced,
             "journal_appends": self.journal.appends if self.journal is not None else 0,
+            "journal_write_errors": health["journal_write_errors"],
+            "journal_append_failures": health["journal_append_failures"],
+            "journal_compactions": self.journal.compactions if self.journal is not None else 0,
+            "health_state": self._HEALTH_CODES[health["status"]],
+            "breaker_state": self._BREAKER_CODES[health["breaker_state"]],
+            "breaker_trips": breaker.trips if breaker is not None else 0,
+            "executor_fallback_runs": getattr(self.executor, "fallback_runs", 0),
+            "store_put_errors": put_errors
+            + getattr(self.executor, "store_put_errors", 0),
+            "store_quarantined": quarantined,
+            "client_disconnects": disconnects,
             "simulations": sims,
             "store_hits": hits,
             "store_misses": misses,

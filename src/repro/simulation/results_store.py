@@ -16,6 +16,14 @@ pickles results under ``<cache_dir>/results/`` next to the simulation
 database.  Repeated experiment and benchmark invocations then skip replay
 entirely and load bit-identical results from disk.
 
+Entries are stored with their canonical content digest
+(:func:`~repro.simulation.metrics.run_result_digest`) and **verified on
+every load**: a stored result whose recomputed digest disagrees with the
+recorded one -- bit rot, a torn write that still unpickles, a tampered
+file -- is moved to ``<root>/.quarantine/`` and reported as a store miss,
+so the caller falls through to re-simulation and the poisoned bytes can
+never be served.  Unpickleable files are quarantined the same way.
+
 Invalidation: bump :data:`RESULTS_FORMAT_VERSION` whenever replay
 accounting changes (the database's own ``DB_FORMAT_VERSION`` already covers
 model/database changes), or delete ``<cache_dir>/results/``; the
@@ -33,7 +41,7 @@ import threading
 
 from repro.scenarios.events import Scenario, ScenarioEvent
 from repro.simulation.database import SimulationDatabase, _config_digest
-from repro.simulation.metrics import RunResult
+from repro.simulation.metrics import RunResult, run_result_digest
 from repro.workloads.mixes import Workload
 
 __all__ = [
@@ -45,7 +53,16 @@ __all__ = [
 ]
 
 #: Bump to invalidate stored run results when replay accounting changes.
-RESULTS_FORMAT_VERSION = 1
+#: v2: entries are ``{"v", "digest", "result"}`` dicts, digest-verified on
+#: every load (bare-``RunResult`` v1 pickles are never looked up again).
+RESULTS_FORMAT_VERSION = 2
+
+#: Fault-injection seam (see :mod:`repro.service.faults`, which installs
+#: its plan's ``fire`` here).  The simulation layer never imports the
+#: service layer, so the hook is a plain module attribute: a callable
+#: ``(site: str) -> rule-or-None``; ``None`` (the default) disables every
+#: injection check.  Site spellings must match ``repro.service.faults``.
+FAULT_HOOK = None
 
 
 def database_digest(db: SimulationDatabase) -> str:
@@ -109,18 +126,28 @@ def run_key(
 
 
 class ResultsStore:
-    """One directory of pickled :class:`RunResult`s, one file per run key.
+    """One directory of digest-verified pickled results, one file per run key.
 
-    Reads tolerate missing or corrupt files (treated as misses); writes are
-    atomic (tmp + rename), so concurrent experiment processes sharing one
-    cache directory can only ever observe complete results.
+    Reads tolerate missing files (misses) and *verify* present ones: each
+    entry records the canonical content digest of its result at put time,
+    and a load whose recomputed digest disagrees -- or that does not
+    unpickle into the expected shape at all -- is quarantined (moved to
+    ``<root>/.quarantine/``) and reported as a miss, so cached rot falls
+    through to re-simulation instead of being served.  Writes are atomic
+    (tmp + rename), so concurrent experiment processes sharing one cache
+    directory can only ever observe complete results.
     """
+
+    #: Quarantine subdirectory for entries that failed load verification.
+    QUARANTINE_DIR = ".quarantine"
 
     def __init__(self, root: str) -> None:
         self.root = root
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: Entries moved to quarantine after failing digest/shape checks.
+        self.quarantined = 0
         #: Optional ``callback(key)`` fired after each successful put; the
         #: replay service's job journal hooks this to record at-rest
         #: persistence.  Not pickled (see ``__getstate__``): a store shipped
@@ -135,18 +162,46 @@ class ResultsStore:
     def path(self, key: str) -> str:
         return os.path.join(self.root, f"run_{key}.pkl")
 
+    def _quarantine(self, key: str) -> None:
+        """Move a failed entry aside so it is never load-attempted again."""
+        path = self.path(key)
+        qdir = os.path.join(self.root, self.QUARANTINE_DIR)
+        try:
+            os.makedirs(qdir, exist_ok=True)
+            os.replace(path, os.path.join(qdir, os.path.basename(path)))
+        except OSError:
+            # Racing quarantiners / read-only store: losing the move is
+            # fine, the entry is already being treated as a miss.
+            return
+        self.quarantined += 1
+
     def get(self, key: str) -> RunResult | None:
         try:
             with open(self.path(key), "rb") as fh:
-                result = pickle.load(fh)
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
         # Unpickling a truncated/corrupt/version-skewed file can raise far
         # more than UnpicklingError (EOFError, OverflowError, ValueError,
         # ImportError/AttributeError on renamed classes, ...); any failure
-        # to load is a cache miss, never a crash.
+        # to load quarantines the entry and counts as a miss, never a crash.
         except Exception:
+            self._quarantine(key)
             self.misses += 1
             return None
-        if not isinstance(result, RunResult):
+        result = payload.get("result") if isinstance(payload, dict) else None
+        stored_digest = payload.get("digest") if isinstance(payload, dict) else None
+        if FAULT_HOOK is not None and FAULT_HOOK("store.load_corrupt"):
+            # Injected rot: tamper the recorded digest so the verification
+            # and quarantine machinery below runs against a real file.
+            stored_digest = f"rotten:{stored_digest}"
+        if (
+            not isinstance(result, RunResult)
+            or not isinstance(stored_digest, str)
+            or run_result_digest(result) != stored_digest
+        ):
+            self._quarantine(key)
             self.misses += 1
             return None
         self.hits += 1
@@ -155,20 +210,29 @@ class ResultsStore:
     def put(self, key: str, result: RunResult) -> None:
         """Persist one result atomically.
 
-        The pickle lands in a uniquely named temp file in the same
-        directory (``mkstemp``: unique even across *threads* sharing a pid,
-        as the service worker pool does), is flushed and fsynced, and only
-        then renamed over the final path.  A worker killed at any instant
-        can therefore leave at most an orphaned ``.tmp`` file -- never a
-        truncated pickle under a real key that would poison later reads.
+        The entry is wrapped with its canonical content digest (verified
+        on every later load).  The pickle lands in a uniquely named temp
+        file in the same directory (``mkstemp``: unique even across
+        *threads* sharing a pid, as the service worker pool does), is
+        flushed and fsynced, and only then renamed over the final path.  A
+        worker killed at any instant can therefore leave at most an
+        orphaned ``.tmp`` file -- never a truncated pickle under a real key
+        that would poison later reads.
         """
+        if FAULT_HOOK is not None and FAULT_HOOK("store.put_fail"):
+            raise OSError(f"injected results-store put failure for {key}")
+        payload = {
+            "v": RESULTS_FORMAT_VERSION,
+            "digest": run_result_digest(result),
+            "result": result,
+        }
         os.makedirs(self.root, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             prefix=f"run_{key}.", suffix=".tmp", dir=self.root
         )
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh)
+                pickle.dump(payload, fh)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path(key))

@@ -1,6 +1,8 @@
-"""Shared utilities: deterministic RNG discipline, statistics, tables, parallel map."""
+"""Shared utilities: deterministic RNG discipline, statistics, tables,
+parallel map, deterministic retry backoff."""
 
 from repro.util.rng import rng_for, seed_for
+from repro.util.backoff import backoff_delay, backoff_schedule
 from repro.util.stats import geo_mean, summarize, weighted_mean
 from repro.util.tables import render_table
 from repro.util.parallel import parallel_map
@@ -9,6 +11,8 @@ from repro.util.validation import require
 __all__ = [
     "rng_for",
     "seed_for",
+    "backoff_delay",
+    "backoff_schedule",
     "geo_mean",
     "weighted_mean",
     "summarize",

@@ -1,0 +1,64 @@
+"""Deterministic capped exponential backoff with content-keyed jitter.
+
+Retry delays in the replay service must be reproducible: the chaos harness
+(``tools/chaos_smoke.py``) asserts that two runs with the same fault seed
+produce identical journal event sequences, which rules out ``random``
+jitter and wall-clock-derived schedules.  :func:`backoff_delay` therefore
+derives its jitter from :func:`repro.util.rng.seed_for` over a caller
+supplied key (typically ``(job_id, attempt)``) -- the same key always
+yields the same delay, different jobs decorrelate, and the schedule obeys
+the usual exponential shape with a hard cap.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import seed_for
+
+__all__ = ["backoff_delay", "backoff_schedule"]
+
+#: Scale of a 64-bit seed, used to map hashes onto [0, 1).
+_U64 = float(2**64)
+
+
+def backoff_delay(
+    attempt: int,
+    *,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    jitter: float = 0.5,
+    key: tuple = (),
+) -> float:
+    """Delay (seconds) before retry number ``attempt`` (1-based).
+
+    The raw schedule is ``base_s * 2**(attempt - 1)`` capped at ``cap_s``;
+    the returned delay is the raw value scaled into
+    ``[(1 - jitter) * raw, raw]`` by a deterministic hash of
+    ``(*key, attempt)``.  ``jitter=0`` disables randomisation entirely.
+
+    >>> backoff_delay(1, key=("job",)) == backoff_delay(1, key=("job",))
+    True
+    """
+    if attempt < 1:
+        raise ValueError("attempt is 1-based; got %r" % (attempt,))
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be within [0, 1]")
+    raw = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    if jitter == 0.0:
+        return raw
+    u = seed_for("backoff", *key, attempt) / _U64  # deterministic in [0, 1)
+    return raw * (1.0 - jitter * u)
+
+
+def backoff_schedule(
+    retries: int,
+    *,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+    jitter: float = 0.5,
+    key: tuple = (),
+) -> list[float]:
+    """The full delay schedule for ``retries`` attempts (for tests/docs)."""
+    return [
+        backoff_delay(a, base_s=base_s, cap_s=cap_s, jitter=jitter, key=key)
+        for a in range(1, retries + 1)
+    ]

@@ -138,6 +138,52 @@ class TestResultsStore:
         assert store.get("deadbeef") is None
         assert store.misses == 1
 
+    def test_unpickleable_entry_is_quarantined(self, tmp_path):
+        """Bytes that fail to load are moved aside, never load-attempted again."""
+        store = ResultsStore(str(tmp_path / "results"))
+        os.makedirs(store.root, exist_ok=True)
+        with open(store.path("deadbeef"), "wb") as fh:
+            fh.write(b"not a pickle")
+        assert store.get("deadbeef") is None
+        assert store.quarantined == 1
+        assert not os.path.exists(store.path("deadbeef"))
+        qpath = os.path.join(
+            store.root, ResultsStore.QUARANTINE_DIR, "run_deadbeef.pkl"
+        )
+        assert os.path.exists(qpath)
+        # The entry is gone from the hot path: the next get is a plain miss.
+        assert store.get("deadbeef") is None
+        assert store.quarantined == 1
+
+    def test_digest_mismatch_quarantines_and_recomputes(
+        self, system4, db4, tmp_path
+    ):
+        """A valid pickle whose recorded digest disagrees with its content --
+        bit rot that still unpickles -- must be quarantined, not served."""
+        import pickle
+
+        ctx = _store_ctx(system4, db4, tmp_path)
+        first = ctx.run(_wl(), RM2)
+        store = ctx.results_store
+        key = run_key(system4, db4, _wl(), RM2, 5)
+        with open(store.path(key), "rb") as fh:
+            payload = pickle.load(fh)
+        payload["digest"] = "0" * 40  # tamper the recorded digest
+        with open(store.path(key), "wb") as fh:
+            pickle.dump(payload, fh)
+        assert store.get(key) is None  # verified load refuses the entry
+        assert store.quarantined == 1
+        assert os.path.exists(
+            os.path.join(store.root, ResultsStore.QUARANTINE_DIR, f"run_{key}.pkl")
+        )
+        # Falls through to re-simulation, bit-identical, and re-persists.
+        fresh = ExperimentContext(
+            system=system4, db=db4, max_slices=5, results_store=store
+        )
+        second = fresh.run(_wl(), RM2)
+        assert_bit_identical(first, second)
+        assert_bit_identical(first, store.get(key))
+
     def test_second_run_hits_store(self, system4, db4, tmp_path):
         ctx = _store_ctx(system4, db4, tmp_path)
         first = ctx.run(_wl(), RM2)

@@ -343,7 +343,18 @@ class TestHTTPEndpoints:
 
     def test_healthz_and_metrics(self, http_base):
         _, health = _get(http_base, "/healthz")
-        assert health["status"] == "ok" and health["workers"] == 2
+        assert health["status"] == "healthy" and health["workers"] == 2
+        # The health payload names *why* a state holds, not just the state.
+        for key in (
+            "breaker_state",
+            "queue_depth",
+            "journal_append_failures",
+            "jobs_retried",
+            "watchdog_timeouts",
+            "store_quarantined",
+            "client_disconnects",
+        ):
+            assert key in health
         with urllib.request.urlopen(http_base + "/metrics", timeout=60) as resp:
             text = resp.read().decode()
         for metric in (
@@ -351,8 +362,16 @@ class TestHTTPEndpoints:
             "repro_service_cache_hit_rate",
             "repro_service_jobs_per_sec",
             "repro_service_job_latency_p95_s",
+            "repro_service_health_state",
+            "repro_service_breaker_state",
+            "repro_service_attempts_total",
+            "repro_service_watchdog_timeouts",
         ):
             assert f"\n{metric} " in "\n" + text
+        # Every exposed value must scrape as a float (states are codes).
+        for line in text.splitlines():
+            if line.startswith("repro_service_"):
+                float(line.split()[1])
 
     def test_stream_replays_every_interval_sample(self, http_base, service):
         _, out = _post(http_base, _s1_request())
@@ -379,6 +398,44 @@ class TestHTTPEndpoints:
             assert got["core"] == want.core
             assert got["duration_ns"] == want.duration_ns
             assert got["baseline_ns"] == want.baseline_ns
+
+    def test_client_disconnect_is_swallowed_and_counted(self, http_base, service):
+        """A mid-SSE disconnect ends the handler quietly and is counted.
+
+        The ``api.sse_disconnect`` fault site raises a ``BrokenPipeError``
+        subclass from inside the event loop -- the same exception a real
+        client disconnect produces -- so this exercises the production
+        swallow path end to end over a real socket.
+        """
+        import time as time_mod
+
+        from repro.service import faults
+
+        _, out = _post(http_base, _s1_request())
+        job = service.get_job(out["job_id"])
+        assert job.wait(120)
+        plan = faults.FaultPlan(
+            7, [faults.FaultRule(faults.SSE_DISCONNECT, rate=1.0, max_fires=1)]
+        )
+        with faults.installed(plan):
+            # The body is truncated (no traceback server-side); with no
+            # Content-Length and Connection: close, the client just sees
+            # EOF early.
+            with urllib.request.urlopen(
+                http_base + f"/jobs/{out['job_id']}/stream", timeout=120
+            ) as resp:
+                truncated = resp.read().decode()
+            assert "event: done" not in truncated
+            deadline = time_mod.monotonic() + 30
+            while service.client_disconnects < 1:
+                assert time_mod.monotonic() < deadline, "disconnect never counted"
+                time_mod.sleep(0.01)
+            # Budget exhausted: the next stream completes normally.
+            with urllib.request.urlopen(
+                http_base + f"/jobs/{out['job_id']}/stream", timeout=120
+            ) as resp:
+                assert "event: done" in resp.read().decode()
+        assert service.health()["client_disconnects"] >= 1
 
 
 class TestBackpressureHTTP:

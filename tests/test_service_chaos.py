@@ -1,0 +1,230 @@
+"""End-to-end chaos suite: seeded fault storms through a real service.
+
+The headline property: for *any* fault seed, a storm whose crash+hang fire
+budget stays within the service's retry budget settles 100% of its jobs
+with result hashes bit-identical to a fault-free run, within a bounded
+number of attempts.  Plus targeted scenarios for each self-healing
+mechanism: the per-attempt watchdog (hung worker recycled, job requeued),
+store quarantine falling through to re-simulation, and crash recovery
+resuming the journalled retry budget instead of resetting it.
+
+The CI-facing variant (journal-sequence determinism across two identically
+seeded storms, hash gate against the committed baseline) runs in
+``tools/chaos_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import ExperimentContext
+from repro.service import ReplayService, faults
+from repro.service import jobs as jobs_mod
+from repro.service import pool as pool_mod
+from repro.service.faults import FaultPlan, FaultRule
+from repro.simulation.results_store import ResultsStore
+
+#: Small fidelity for every service test: horizons stay tiny, replay fast.
+MAX_SLICES = 5
+
+WAIT_S = 240.0
+
+#: Retry budget used by the storm property; the plan's crash budget below
+#: never exceeds it, which is what guarantees settlement for any seed.
+STORM_MAX_RETRIES = 2
+
+
+def _factory(system4, db4, root):
+    def factory(ncores):
+        assert ncores == 4, "this suite only requests 4-core jobs"
+        return ExperimentContext(
+            system=system4, db=db4, max_slices=MAX_SLICES,
+            results_store=ResultsStore(str(root / "results")),
+        )
+
+    return factory
+
+
+def _s1_body(seed=0, name="chaos-s1") -> dict:
+    return {
+        "shape": "S1",
+        "ncores": 4,
+        "params": {"rate_per_interval": 0.25, "horizon_intervals": 16, "seed": seed},
+        "manager": {"kind": "coordinated", "name": "rm2-combined"},
+        "name": name,
+    }
+
+
+STORM_BODIES = (
+    _s1_body(seed=0, name="chaos-a"),
+    _s1_body(seed=1, name="chaos-b"),
+)
+
+
+@pytest.fixture(scope="module")
+def reference_hashes(system4, db4, tmp_path_factory):
+    """``{job_id: result_hash}`` from one fault-free pass over the storm jobs."""
+    root = tmp_path_factory.mktemp("chaos-ref")
+    svc = ReplayService(context_factory=_factory(system4, db4, root), workers=2)
+    hashes = {}
+    for body in STORM_BODIES:
+        job = svc.submit(dict(body))
+        assert job.wait(WAIT_S) and job.status == "done"
+        hashes[job.job_id] = job.result_hash
+    svc.close()
+    return hashes
+
+
+class TestSeededStormsSettle:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=6, deadline=None)
+    def test_any_seed_settles_bit_identical_within_attempt_budget(
+        self, system4, db4, tmp_path_factory, reference_hashes, seed
+    ):
+        """Worker crashes, store put failures and journal write faults under
+        an arbitrary seed: every job still settles ``done`` with the
+        fault-free hash, and total attempts stay within the retry budget
+        (no retry storms)."""
+        root = tmp_path_factory.mktemp(f"chaos-{seed}")
+        plan = FaultPlan(
+            seed,
+            [
+                # Crash budget <= STORM_MAX_RETRIES: settlement is guaranteed
+                # even if every crash lands on one job.
+                FaultRule(faults.EXECUTOR_CRASH, rate=0.4, max_fires=STORM_MAX_RETRIES),
+                FaultRule(faults.STORE_PUT_FAIL, rate=0.4, max_fires=2),
+                FaultRule(faults.JOURNAL_TORN_WRITE, rate=0.3, max_fires=2),
+                FaultRule(faults.JOURNAL_FSYNC, rate=0.3, max_fires=2),
+            ],
+        )
+        with faults.installed(plan):
+            svc = ReplayService(
+                context_factory=_factory(system4, db4, root),
+                workers=2,
+                journal=str(root / "journal"),
+                max_retries=STORM_MAX_RETRIES,
+                backoff_base_s=0.01,
+                backoff_cap_s=0.05,
+            )
+            jobs = [svc.submit(dict(body)) for body in STORM_BODIES]
+            for job in jobs:
+                assert job.wait(WAIT_S), f"job {job.job_id} never settled"
+                assert job.status == "done", job.error
+                assert job.result_hash == reference_hashes[job.job_id]
+            assert svc.attempts_total <= len(jobs) * (1 + STORM_MAX_RETRIES)
+            # Injected attempt failures were retried, never surfaced.
+            crash_fires = plan.report()[faults.EXECUTOR_CRASH]["fires"]
+            assert svc.jobs_retried == crash_fires
+            assert svc.jobs_failed == 0
+            svc.close()
+
+
+class TestWatchdog:
+    def test_hung_attempt_is_recycled_and_requeued(
+        self, system4, db4, tmp_path, monkeypatch
+    ):
+        """A wedged first attempt trips the watchdog; the retry succeeds on a
+        fresh dispatch and the job settles ``done``."""
+        release = threading.Event()
+        calls = []
+        real = pool_mod._execute_replay
+
+        def wedged_once(ctx, item, manager):
+            calls.append(1)
+            if len(calls) == 1:
+                release.wait(60)  # far past the watchdog deadline
+                raise RuntimeError("abandoned attempt finally unwound")
+            return real(ctx, item, manager)
+
+        monkeypatch.setattr(pool_mod, "_execute_replay", wedged_once)
+        svc = ReplayService(
+            context_factory=_factory(system4, db4, tmp_path),
+            workers=1,
+            max_retries=2,
+            job_timeout_s=0.5,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.02,
+        )
+        try:
+            job = svc.submit(_s1_body(name="chaos-watchdog"))
+            assert job.wait(WAIT_S)
+            assert job.status == "done", job.error
+            assert svc.watchdog_timeouts == 1
+            assert job.attempts == 2  # timed-out attempt + successful retry
+            assert svc.health()["watchdog_timeouts"] == 1
+        finally:
+            release.set()  # unwedge the abandoned thread before teardown
+            svc.close()
+
+
+class TestStoreQuarantineHealing:
+    def test_corrupt_warm_entry_quarantines_and_resimulates(
+        self, system4, db4, tmp_path
+    ):
+        """A warm store entry that fails digest verification is quarantined
+        and the job transparently re-simulates to the same hash."""
+        factory = _factory(system4, db4, tmp_path)
+        svc = ReplayService(context_factory=factory, workers=1)
+        job = svc.submit(_s1_body(name="chaos-rot"))
+        assert job.wait(WAIT_S) and job.status == "done"
+        reference = job.result_hash
+        svc.close()
+        plan = FaultPlan(
+            3, [FaultRule(faults.STORE_LOAD_CORRUPT, rate=1.0, max_fires=1)]
+        )
+        with faults.installed(plan):
+            svc2 = ReplayService(context_factory=factory, workers=1)
+            job2 = svc2.submit(_s1_body(name="chaos-rot"))
+            assert job2.wait(WAIT_S) and job2.status == "done"
+            assert job2.result_hash == reference
+            assert not job2.cache_hit  # the poisoned entry was not served
+            assert svc2.simulations == 1
+            store = svc2.ctx_for(4).results_store
+            assert store.quarantined == 1
+            assert svc2.health()["store_quarantined"] == 1
+            svc2.close()
+
+
+class TestRecoveryResumesRetryBudget:
+    def test_journalled_attempts_survive_restart(
+        self, system4, db4, tmp_path, monkeypatch
+    ):
+        """A job recovered with ``attempt=2`` on record gets only the
+        *remaining* budget: with ``max_retries=3`` it may run attempts 3 and
+        4, then fails -- the crash loop cannot reset its allowance."""
+        svc = ReplayService(
+            context_factory=_factory(system4, db4, tmp_path),
+            workers=1,
+            journal=str(tmp_path / "journal"),
+            autostart=False,
+            max_retries=3,
+            backoff_base_s=0.01,
+            backoff_cap_s=0.02,
+        )
+        spec = jobs_mod.job_spec_from_json(_s1_body(name="chaos-recover"))
+        key = jobs_mod.job_key(spec, svc.ctx_for(4))
+        svc.journal.append("submitted", key, lane="interactive", spec=spec.to_json())
+        svc.journal.append("retrying", key, attempt=2, error="RuntimeError: boom")
+        calls = []
+
+        def always_failing(ctx, item, manager):
+            calls.append(1)
+            raise RuntimeError("still broken after restart")
+
+        monkeypatch.setattr(pool_mod, "_execute_replay", always_failing)
+        recovered = svc.recover()
+        assert [job.job_id for job in recovered] == [key]
+        assert recovered[0].attempts == 2
+        svc.start()
+        assert recovered[0].wait(WAIT_S)
+        assert recovered[0].status == "failed"
+        assert recovered[0].attempts == 1 + svc.max_retries
+        assert len(calls) == 2  # attempts 3 and 4 only
+        # The terminal failure is journalled with the final attempt count.
+        failed = [r for r in svc.journal.records() if r.event == "failed"]
+        assert failed and failed[-1].attempt == 4
+        svc.close()

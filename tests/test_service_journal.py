@@ -134,6 +134,55 @@ class TestJournalRecords:
         assert journal.pending() == {}
         assert journal.compact() == 0
 
+    def test_retrying_round_trip_and_pending_fold(self, tmp_path):
+        """``retrying`` records carry the attempt count into the pending
+        fold, so recovery resumes the retry budget instead of resetting it."""
+        journal = JobJournal(str(tmp_path / "j"))
+        journal.append("submitted", "job-a", lane="interactive", spec={"shape": "S1"})
+        journal.append("claimed", "job-a", attempt=1)
+        journal.append("retrying", "job-a", attempt=1, error="InjectedWorkerCrash: x")
+        journal.append("claimed", "job-a", attempt=2)
+        journal.append("retrying", "job-a", attempt=2, error="WatchdogTimeout: y")
+        pending = journal.pending()
+        assert set(pending) == {"job-a"}
+        assert pending["job-a"].attempt == 2
+        assert pending["job-a"].spec == {"shape": "S1"}  # spec survives the fold
+        # A stale (lower) retrying record never regresses the attempt count.
+        journal.append("retrying", "job-a", attempt=1, error="replayed")
+        assert journal.pending()["job-a"].attempt == 2
+
+    def test_compact_preserves_attempt_counts(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "j"))
+        journal.append("submitted", "job-a", lane="bulk", spec={"shape": "S1"})
+        journal.append("retrying", "job-a", attempt=3, error="boom")
+        assert journal.compact() == 1
+        # The compacted submitted record carries the folded attempt, and a
+        # fresh journal over the same file reads it back identically.
+        reread = JobJournal(journal.root)
+        pending = reread.pending()
+        assert pending["job-a"].attempt == 3
+        assert pending["job-a"].event == "submitted"
+
+    def test_maybe_compact_triggers_on_settled_backlog(self, tmp_path):
+        journal = JobJournal(str(tmp_path / "j"), compact_min_settled=2, compact_factor=1)
+        journal.append("submitted", "job-a", spec={"shape": "S1"})
+        journal.append("published", "job-a", result_hash="x")
+        assert journal.settled_since_compact == 1
+        assert not journal.maybe_compact(pending_hint=0)  # below the floor
+        journal.append("submitted", "job-b", spec={"shape": "S1"})
+        journal.append("failed", "job-b", error="boom")
+        assert journal.maybe_compact(pending_hint=0)  # 2 >= max(2, 1*1)
+        assert journal.settled_since_compact == 0
+        assert journal.compactions == 1
+        assert journal.records() == []  # everything settled -> empty WAL
+        # A large pending backlog raises the threshold above the floor.
+        journal2 = JobJournal(str(tmp_path / "j2"), compact_min_settled=2, compact_factor=1)
+        for i in range(5):
+            journal2.append("submitted", f"job-{i}", spec={"shape": "S1"})
+        journal2.append("published", "job-0", result_hash="x")
+        journal2.append("published", "job-1", result_hash="x")
+        assert not journal2.maybe_compact(pending_hint=3)  # 2 < max(2, 1*3)=3
+
 
 # ---- hypothesis properties ---------------------------------------------------
 
@@ -148,6 +197,7 @@ _record_strategy = st.builds(
     ),
     result_hash=st.none() | st.text(alphabet="0123456789abcdef", min_size=16, max_size=16),
     error=st.none() | st.text(max_size=40),
+    attempt=st.none() | st.integers(min_value=1, max_value=9),
 )
 
 
@@ -181,6 +231,7 @@ class TestJournalProperties:
                 spec=record.spec,
                 result_hash=record.result_hash,
                 error=record.error,
+                attempt=record.attempt,
             )
         journal.close()
         with open(journal.path, "rb") as fh:
@@ -188,10 +239,21 @@ class TestJournalProperties:
         cut = data.draw(st.integers(min_value=0, max_value=len(raw)), label="cut_offset")
         with open(journal.path, "wb") as fh:
             fh.write(raw[:cut])
-        survivors = raw[:cut].count(b"\n")  # records whose newline survived
+        # A record survives iff its complete JSON (newline optional: a cut
+        # that eats only the terminator leaves a parseable final line) is
+        # within the kept prefix; a cut strictly inside a line leaves an
+        # unparseable fragment (every strict prefix of the JSON object is
+        # invalid), which must be dropped and counted as torn.
+        starts, ends, offset = [], [], 0
+        for line in raw.split(b"\n")[:-1]:
+            starts.append(offset)
+            ends.append(offset + len(line))
+            offset += len(line) + 1
+        survivors = sum(1 for end in ends if cut >= end)
         recovered = journal.records()
-        assert [r for r in recovered] == records[:survivors]
-        assert journal.torn_lines == (1 if cut and raw[cut - 1 : cut] != b"\n" else 0)
+        assert recovered == records[:survivors]
+        frag_torn = any(start < cut < end for start, end in zip(starts, ends))
+        assert journal.torn_lines == (1 if frag_torn else 0)
         expected_pending = {}
         for record in records[:survivors]:
             if record.event == "submitted" and record.spec is not None:

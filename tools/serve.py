@@ -7,6 +7,8 @@ Usage::
         [--executor thread|process] [--processes N] [--max-queue N]
         [--journal-dir PATH | --no-journal] [--ncores N ...]
         [--cache-dir PATH] [--benchmarks a,b,...]
+        [--max-retries N] [--job-timeout S]
+        [--fault-seed SEED] [--fault SITE=RATE[:MAX_FIRES[:PARAM]] ...]
 
 ``--ncores`` pre-warms experiment contexts (database + results store) for
 those system sizes at startup; other sizes are built lazily on first
@@ -24,6 +26,15 @@ jobs on a persistent process pool (``--processes`` per system size) instead
 of the worker threads; ``--max-queue`` bounds admission (full queues answer
 429 + ``Retry-After``).
 
+Self-healing knobs: ``--max-retries`` bounds per-job retry allowance
+(attempt failures are retried with capped exponential backoff before a job
+settles ``failed``), ``--job-timeout`` arms the per-attempt watchdog (a hung
+attempt is abandoned, its executor recycled, the job requeued).  Chaos
+testing: ``--fault SITE=RATE[:MAX_FIRES[:PARAM]]`` (repeatable) installs a
+deterministic fault plan seeded by ``--fault-seed``; injection sites are
+listed in ``repro.service.faults.SITES``.  ``tools/chaos_smoke.py`` drives
+these in-process instead.
+
 With ``--port 0`` the OS picks a free port; the bound address is printed
 as ``listening on http://host:port`` (stdout, flushed) so wrappers such as
 ``tools/service_smoke.py`` can discover it.
@@ -38,8 +49,26 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.experiments.runner import DEFAULT_CACHE_DIR, get_context  # noqa: E402
-from repro.service import EXECUTOR_KINDS, ReplayService, make_server  # noqa: E402
-from repro.service.pool import DEFAULT_MAX_QUEUE  # noqa: E402
+from repro.service import EXECUTOR_KINDS, ReplayService, faults, make_server  # noqa: E402
+from repro.service.pool import DEFAULT_MAX_QUEUE, DEFAULT_MAX_RETRIES  # noqa: E402
+
+
+def _parse_fault(arg: str) -> faults.FaultRule:
+    """``SITE=RATE[:MAX_FIRES[:PARAM]]`` -> a validated :class:`FaultRule`."""
+    try:
+        site, _, spec = arg.partition("=")
+        parts = spec.split(":")
+        rate = float(parts[0])
+        max_fires = int(parts[1]) if len(parts) > 1 and parts[1] else None
+        param = float(parts[2]) if len(parts) > 2 and parts[2] else None
+    except (ValueError, IndexError) as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected SITE=RATE[:MAX_FIRES[:PARAM]], got {arg!r}"
+        ) from exc
+    try:
+        return faults.FaultRule(site, rate=rate, max_fires=max_fires, param=param)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,7 +118,41 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated benchmark subset for the "
         "simulation database (default: full catalogue)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=DEFAULT_MAX_RETRIES,
+        help="failed attempts are retried up to this many times before a "
+        "job settles failed",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="per-attempt watchdog deadline in seconds (default: unarmed)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the deterministic fault plan (with --fault)",
+    )
+    parser.add_argument(
+        "--fault",
+        type=_parse_fault,
+        action="append",
+        default=[],
+        metavar="SITE=RATE[:MAX_FIRES[:PARAM]]",
+        help="inject deterministic faults at SITE (repeatable); see "
+        "repro.service.faults.SITES",
+    )
     args = parser.parse_args(argv)
+
+    if args.fault:
+        plan = faults.FaultPlan(args.fault_seed, args.fault)
+        faults.install(plan)
+        sites = ", ".join(rule.site for rule in args.fault)
+        print(f"fault plan installed (seed {args.fault_seed}): {sites}", flush=True)
 
     names = args.benchmarks.split(",") if args.benchmarks else None
 
@@ -107,6 +170,8 @@ def main(argv: list[str] | None = None) -> int:
         processes=args.processes,
         max_queue=args.max_queue,
         journal=journal_dir,
+        max_retries=args.max_retries,
+        job_timeout_s=args.job_timeout,
     )
     for ncores in args.ncores:
         service.ctx_for(ncores)

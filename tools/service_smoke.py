@@ -181,7 +181,7 @@ def _wait_healthy(base: str) -> None:
     while time.monotonic() < deadline:
         try:
             health = _get_json(base + "/healthz", timeout=5.0)
-            if health.get("status") == "ok":
+            if health.get("status") in ("ok", "healthy"):
                 return
         except (urllib.error.URLError, OSError):
             time.sleep(0.2)
